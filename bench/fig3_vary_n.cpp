@@ -1,0 +1,33 @@
+// Reproduces Fig. 3 of the paper: the five algorithms as the network size
+// n sweeps 200..1200 with K = 2 mobile chargers.
+//   (a) average longest tour duration;  (b) average dead duration/sensor.
+//
+// Extra flags: --nmin=200 --nmax=1200 --nstep=200 --chargers=2
+#include "figure_common.h"
+
+int main(int argc, char** argv) {
+  using namespace mcharge;
+  const CliFlags flags(argc, argv);
+  const auto settings = bench::SweepSettings::from_flags(flags);
+  const auto n_min = static_cast<std::size_t>(flags.get_int("nmin", 200));
+  const auto n_max = static_cast<std::size_t>(flags.get_int("nmax", 1200));
+  const auto n_step = static_cast<std::size_t>(flags.get_int("nstep", 200));
+  const auto k = static_cast<std::size_t>(flags.get_int("chargers", 2));
+
+  const auto algorithms = bench::paper_algorithms();
+  std::vector<std::string> labels;
+  std::vector<bench::PointResult> points;
+  for (std::size_t n = n_min; n <= n_max; n += n_step) {
+    std::fprintf(stderr, "fig3: n = %zu ...\n", n);
+    model::NetworkConfig config;
+    config.num_chargers = k;
+    points.push_back(bench::run_point(
+        settings, algorithms,
+        [&](Rng& rng) {
+          return model::make_instance(config, n, rng, settings.layout);
+        }));
+    labels.push_back(std::to_string(n));
+  }
+  bench::emit_figure("Fig. 3", "n", labels, algorithms, points, settings);
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Reproduces Fig. 4 of the paper: the five algorithms as the maximum data
+// rate b_max sweeps 10..50 kbps with n = 1000 sensors and K = 2 chargers
+// (b_min stays 1 kbps).
+//   (a) average longest tour duration;  (b) average dead duration/sensor.
+//
+// Extra flags: --n=1000 --chargers=2
+#include "figure_common.h"
+
+int main(int argc, char** argv) {
+  using namespace mcharge;
+  const CliFlags flags(argc, argv);
+  const auto settings = bench::SweepSettings::from_flags(flags);
+  const auto n = static_cast<std::size_t>(flags.get_int("n", 1000));
+  const auto k = static_cast<std::size_t>(flags.get_int("chargers", 2));
+
+  const auto algorithms = bench::paper_algorithms();
+  std::vector<std::string> labels;
+  std::vector<bench::PointResult> points;
+  for (int bmax_kbps = 10; bmax_kbps <= 50; bmax_kbps += 10) {
+    std::fprintf(stderr, "fig4: b_max = %d kbps ...\n", bmax_kbps);
+    model::NetworkConfig config;
+    config.num_chargers = k;
+    config.rate_max_bps = bmax_kbps * 1e3;
+    points.push_back(bench::run_point(
+        settings, algorithms,
+        [&](Rng& rng) {
+          return model::make_instance(config, n, rng, settings.layout);
+        }));
+    labels.push_back(std::to_string(bmax_kbps));
+  }
+  bench::emit_figure("Fig. 4", "b_max_kbps", labels, algorithms, points,
+                     settings);
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Reproduces Fig. 5 of the paper: the five algorithms as the number of
+// mobile chargers K sweeps 1..5 with n = 1000 sensors.
+//   (a) average longest tour duration;  (b) average dead duration/sensor.
+//
+// Extra flags: --n=1000 --kmax=5
+#include "figure_common.h"
+
+int main(int argc, char** argv) {
+  using namespace mcharge;
+  const CliFlags flags(argc, argv);
+  const auto settings = bench::SweepSettings::from_flags(flags);
+  const auto n = static_cast<std::size_t>(flags.get_int("n", 1000));
+  const auto k_max = static_cast<std::size_t>(flags.get_int("kmax", 5));
+
+  const auto algorithms = bench::paper_algorithms();
+  std::vector<std::string> labels;
+  std::vector<bench::PointResult> points;
+  for (std::size_t k = 1; k <= k_max; ++k) {
+    std::fprintf(stderr, "fig5: K = %zu ...\n", k);
+    model::NetworkConfig config;
+    config.num_chargers = k;
+    points.push_back(bench::run_point(
+        settings, algorithms,
+        [&](Rng& rng) {
+          return model::make_instance(config, n, rng, settings.layout);
+        }));
+    labels.push_back(std::to_string(k));
+  }
+  bench::emit_figure("Fig. 5", "K", labels, algorithms, points, settings);
+  return 0;
+}

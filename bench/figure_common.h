@@ -1,0 +1,155 @@
+// Shared harness for the figure-reproduction benches.
+//
+// Each paper figure plots, for the five algorithms, (a) the average longest
+// tour duration (hours) and (b) the average dead duration per sensor
+// (minutes) over a monitoring period, as one experiment knob sweeps. The
+// harness runs `instances` random WRSN instances per sweep point, feeds
+// each through the year-long (configurable) simulator under every
+// algorithm, and prints both series as tables + CSV.
+//
+// Common flags (all benches):
+//   --instances=N   instances per point           (default 10; paper: 100)
+//   --months=M      monitoring period in months   (default 12, as the paper)
+//   --seed=S        base RNG seed                 (default 1)
+//   --csv=PREFIX    also write PREFIX_a.csv / PREFIX_b.csv
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/aa.h"
+#include "baselines/kedf.h"
+#include "baselines/kminmax.h"
+#include "baselines/netwrap.h"
+#include "core/appro.h"
+#include "sim/simulation.h"
+#include "util/cli.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace mcharge::bench {
+
+inline std::vector<sched::SchedulerPtr> paper_algorithms() {
+  std::vector<sched::SchedulerPtr> out;
+  out.push_back(std::make_unique<core::ApproScheduler>());
+  out.push_back(std::make_unique<baselines::KEdfScheduler>());
+  out.push_back(std::make_unique<baselines::NetwrapScheduler>());
+  out.push_back(std::make_unique<baselines::AaScheduler>());
+  out.push_back(std::make_unique<baselines::KMinMaxScheduler>());
+  return out;
+}
+
+struct SweepSettings {
+  std::size_t instances = 10;
+  double months = 12.0;
+  std::uint64_t seed = 1;
+  std::string csv_prefix;  ///< empty = no CSV files
+  /// Sensor placement. The paper uses uniform; --layout=clustered/grid
+  /// checks that the conclusions survive other deployment shapes.
+  model::FieldLayout layout = model::FieldLayout::kUniform;
+
+  static SweepSettings from_flags(const CliFlags& flags) {
+    SweepSettings s;
+    s.instances = static_cast<std::size_t>(flags.get_int("instances", 10));
+    s.months = flags.get_double("months", 12.0);
+    s.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+    s.csv_prefix = flags.get("csv", "");
+    const std::string layout = flags.get("layout", "uniform");
+    if (layout == "clustered") s.layout = model::FieldLayout::kClustered;
+    if (layout == "grid") s.layout = model::FieldLayout::kGrid;
+    return s;
+  }
+};
+
+/// One sweep point: a label value (e.g. n) and a configured instance
+/// factory. The harness owns averaging across instances and algorithms.
+struct PointResult {
+  std::vector<double> longest_tour_hours;   ///< per algorithm (mean)
+  std::vector<double> dead_minutes;         ///< per algorithm (mean)
+  std::vector<double> tour_stddev;          ///< across instances
+  std::vector<double> dead_stddev;          ///< across instances
+  std::size_t violations = 0;
+};
+
+template <typename MakeInstance>
+PointResult run_point(const SweepSettings& settings,
+                      const std::vector<sched::SchedulerPtr>& algorithms,
+                      MakeInstance&& make_instance) {
+  sim::SimConfig sim_config;
+  sim_config.monitoring_period_s = settings.months * 30.0 * 86400.0;
+
+  std::vector<RunningStats> tour(algorithms.size());
+  std::vector<RunningStats> dead(algorithms.size());
+  PointResult result;
+  for (std::size_t inst = 0; inst < settings.instances; ++inst) {
+    Rng rng(settings.seed * 7919 + inst * 104729 + 13);
+    const model::WrsnInstance instance = make_instance(rng);
+    for (std::size_t a = 0; a < algorithms.size(); ++a) {
+      const auto r = sim::simulate(instance, *algorithms[a], sim_config);
+      tour[a].add(r.mean_longest_delay_hours());
+      dead[a].add(r.mean_dead_minutes_per_sensor);
+      result.violations += r.verify_violations;
+    }
+  }
+  for (std::size_t a = 0; a < algorithms.size(); ++a) {
+    result.longest_tour_hours.push_back(tour[a].mean());
+    result.dead_minutes.push_back(dead[a].mean());
+    result.tour_stddev.push_back(tour[a].stddev());
+    result.dead_stddev.push_back(dead[a].stddev());
+  }
+  return result;
+}
+
+/// Prints the two series ((a) tour duration, (b) dead duration) and
+/// optionally writes CSVs.
+inline void emit_figure(const std::string& figure, const std::string& knob,
+                        const std::vector<std::string>& knob_values,
+                        const std::vector<sched::SchedulerPtr>& algorithms,
+                        const std::vector<PointResult>& points,
+                        const SweepSettings& settings) {
+  std::vector<std::string> headers{knob};
+  for (const auto& a : algorithms) headers.push_back(a->name());
+  // Both outputs also carry per-algorithm stddev columns (across the
+  // replicated instances) so plots can show error bars.
+  std::vector<std::string> csv_headers = headers;
+  for (const auto& a : algorithms) csv_headers.push_back(a->name() + "_sd");
+
+  Table tour(csv_headers);
+  Table dead(csv_headers);
+  std::size_t violations = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    tour.start_row();
+    tour.add(knob_values[i]);
+    for (double v : points[i].longest_tour_hours) tour.add(v, 2);
+    for (double v : points[i].tour_stddev) tour.add(v, 2);
+    dead.start_row();
+    dead.add(knob_values[i]);
+    for (double v : points[i].dead_minutes) dead.add(v, 1);
+    for (double v : points[i].dead_stddev) dead.add(v, 1);
+    violations += points[i].violations;
+  }
+
+  std::printf("\n%s(a): average longest tour duration (hours)\n",
+              figure.c_str());
+  tour.print(std::cout);
+  std::printf("\n%s(b): average dead duration per sensor (minutes)\n",
+              figure.c_str());
+  dead.print(std::cout);
+  std::printf("\nschedule verifier violations across all runs: %zu\n",
+              violations);
+  std::printf("settings: %zu instance(s)/point, %.1f-month horizon "
+              "(paper: 100 instances, 12 months)\n",
+              settings.instances, settings.months);
+  if (!settings.csv_prefix.empty()) {
+    tour.write_csv(settings.csv_prefix + "_a.csv");
+    dead.write_csv(settings.csv_prefix + "_b.csv");
+    std::printf("CSV written to %s_a.csv / %s_b.csv\n",
+                settings.csv_prefix.c_str(), settings.csv_prefix.c_str());
+  }
+}
+
+}  // namespace mcharge::bench

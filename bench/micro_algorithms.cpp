@@ -1,0 +1,259 @@
+// google-benchmark micro benches for the algorithmic substrates and the
+// end-to-end Appro pipeline: MIS construction, overlap graph, blossom-step
+// matching, Christofides, min-max splitting, plan execution, and full
+// scheduling at the paper's instance sizes.
+#include <benchmark/benchmark.h>
+
+#include "assignment/hungarian.h"
+#include "cluster/kmeans.h"
+#include "core/appro.h"
+#include "core/bounds.h"
+#include "core/exact.h"
+#include "core/overlap_graph.h"
+#include "core/replan.h"
+#include "geometry/field.h"
+#include "graph/mis.h"
+#include "graph/unit_disk.h"
+#include "matching/blossom.h"
+#include "matching/matching.h"
+#include "model/charging_problem.h"
+#include "schedule/execute.h"
+#include "tsp/construct.h"
+#include "tsp/exact.h"
+#include "tsp/improve.h"
+#include "tsp/split.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace mcharge;
+
+model::ChargingProblem make_round(std::size_t n, std::size_t k,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<geom::Point> pts;
+  std::vector<double> deficits;
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)});
+    deficits.push_back(rng.uniform(3456.0, 5400.0));
+  }
+  return model::ChargingProblem(std::move(pts), std::move(deficits),
+                                {50.0, 50.0}, 2.7, 1.0, k);
+}
+
+tsp::TourProblem make_tour_problem(std::size_t m, std::uint64_t seed) {
+  Rng rng(seed);
+  tsp::TourProblem p;
+  p.sites = geom::uniform_field(m, 100.0, 100.0, rng);
+  for (std::size_t i = 0; i < m; ++i) {
+    p.service.push_back(rng.uniform(0.0, 5400.0));
+  }
+  p.depot = {50.0, 50.0};
+  return p;
+}
+
+void BM_UnitDiskGraph(benchmark::State& state) {
+  Rng rng(1);
+  const auto pts =
+      geom::uniform_field(static_cast<std::size_t>(state.range(0)), 100.0,
+                          100.0, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::unit_disk_graph(pts, 2.7));
+  }
+}
+BENCHMARK(BM_UnitDiskGraph)->Arg(200)->Arg(600)->Arg(1200);
+
+void BM_MaximalIndependentSet(benchmark::State& state) {
+  Rng rng(2);
+  const auto pts =
+      geom::uniform_field(static_cast<std::size_t>(state.range(0)), 100.0,
+                          100.0, rng);
+  const auto g = graph::unit_disk_graph(pts, 2.7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::maximal_independent_set(g));
+  }
+}
+BENCHMARK(BM_MaximalIndependentSet)->Arg(200)->Arg(600)->Arg(1200);
+
+void BM_OverlapGraph(benchmark::State& state) {
+  const auto problem =
+      make_round(static_cast<std::size_t>(state.range(0)), 2, 3);
+  const auto gc = core::charging_graph(problem);
+  const auto s_i = graph::maximal_independent_set(gc);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::overlap_graph(problem, s_i));
+  }
+}
+BENCHMARK(BM_OverlapGraph)->Arg(200)->Arg(600)->Arg(1200);
+
+void BM_ExactMatching(benchmark::State& state) {
+  Rng rng(4);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto pts = geom::uniform_field(n, 100.0, 100.0, rng);
+  const matching::WeightFn w = [&](std::uint32_t a, std::uint32_t b) {
+    return geom::distance(pts[a], pts[b]);
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matching::exact_min_weight_matching(n, w));
+  }
+}
+BENCHMARK(BM_ExactMatching)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_LocalSearchMatching(benchmark::State& state) {
+  Rng rng(5);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto pts = geom::uniform_field(n, 100.0, 100.0, rng);
+  const matching::WeightFn w = [&](std::uint32_t a, std::uint32_t b) {
+    return geom::distance(pts[a], pts[b]);
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matching::local_search_matching(n, w));
+  }
+}
+BENCHMARK(BM_LocalSearchMatching)->Arg(50)->Arg(150)->Arg(400);
+
+void BM_BlossomMatching(benchmark::State& state) {
+  Rng rng(19);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto pts = geom::uniform_field(n, 100.0, 100.0, rng);
+  const matching::WeightFn w = [&](std::uint32_t a, std::uint32_t b) {
+    return geom::distance(pts[a], pts[b]);
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matching::blossom_min_weight_matching(n, w));
+  }
+}
+BENCHMARK(BM_BlossomMatching)->Arg(50)->Arg(150)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ChristofidesTour(benchmark::State& state) {
+  const auto p =
+      make_tour_problem(static_cast<std::size_t>(state.range(0)), 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tsp::christofides_tour(p));
+  }
+}
+BENCHMARK(BM_ChristofidesTour)->Arg(50)->Arg(150)->Arg(350);
+
+void BM_TwoOpt(benchmark::State& state) {
+  const auto p =
+      make_tour_problem(static_cast<std::size_t>(state.range(0)), 7);
+  const auto base = tsp::nearest_neighbor_tour(p);
+  for (auto _ : state) {
+    auto tour = base;
+    benchmark::DoNotOptimize(tsp::two_opt(p, tour));
+  }
+}
+BENCHMARK(BM_TwoOpt)->Arg(50)->Arg(150)->Arg(350);
+
+void BM_MinMaxKTours(benchmark::State& state) {
+  const auto p = make_tour_problem(300, 8);
+  const auto k = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tsp::min_max_k_tours(p, k));
+  }
+}
+BENCHMARK(BM_MinMaxKTours)->Arg(1)->Arg(2)->Arg(5);
+
+void BM_ApproPlan(benchmark::State& state) {
+  const auto problem =
+      make_round(static_cast<std::size_t>(state.range(0)), 2, 9);
+  core::ApproScheduler appro;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(appro.plan(problem));
+  }
+}
+BENCHMARK(BM_ApproPlan)->Arg(200)->Arg(600)->Arg(1200)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ApproPlanAndExecute(benchmark::State& state) {
+  const auto problem =
+      make_round(static_cast<std::size_t>(state.range(0)), 2, 10);
+  core::ApproScheduler appro;
+  for (auto _ : state) {
+    const auto plan = appro.plan(problem);
+    benchmark::DoNotOptimize(sched::execute_plan(problem, plan));
+  }
+}
+BENCHMARK(BM_ApproPlanAndExecute)->Arg(200)->Arg(600)->Arg(1200)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ExecutePlanOnly(benchmark::State& state) {
+  const auto problem =
+      make_round(static_cast<std::size_t>(state.range(0)), 2, 11);
+  core::ApproScheduler appro;
+  const auto plan = appro.plan(problem);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::execute_plan(problem, plan));
+  }
+}
+BENCHMARK(BM_ExecutePlanOnly)->Arg(200)->Arg(600)->Arg(1200);
+
+void BM_Hungarian(benchmark::State& state) {
+  Rng rng(12);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::vector<double>> cost(n, std::vector<double>(n));
+  for (auto& row : cost) {
+    for (auto& c : row) c = rng.uniform(0.0, 100.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(assignment::solve_assignment(cost));
+  }
+}
+BENCHMARK(BM_Hungarian)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_KMeans(benchmark::State& state) {
+  Rng rng(13);
+  const auto pts = geom::uniform_field(
+      static_cast<std::size_t>(state.range(0)), 100.0, 100.0, rng);
+  for (auto _ : state) {
+    Rng seeder(14);
+    benchmark::DoNotOptimize(cluster::kmeans(pts, 5, seeder));
+  }
+}
+BENCHMARK(BM_KMeans)->Arg(200)->Arg(1200);
+
+void BM_HeldKarp(benchmark::State& state) {
+  const auto p =
+      make_tour_problem(static_cast<std::size_t>(state.range(0)), 15);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tsp::held_karp_travel_time(p));
+  }
+}
+BENCHMARK(BM_HeldKarp)->Arg(10)->Arg(14)->Arg(17);
+
+void BM_DelayLowerBound(benchmark::State& state) {
+  const auto problem =
+      make_round(static_cast<std::size_t>(state.range(0)), 2, 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::delay_lower_bound(problem));
+  }
+}
+BENCHMARK(BM_DelayLowerBound)->Arg(200)->Arg(1200);
+
+void BM_ExactTinySolver(benchmark::State& state) {
+  const auto problem =
+      make_round(static_cast<std::size_t>(state.range(0)), 2, 17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::exact_min_longest_delay(problem));
+  }
+}
+BENCHMARK(BM_ExactTinySolver)->Arg(4)->Arg(5)->Arg(6);
+
+void BM_ReplanMidRound(benchmark::State& state) {
+  const auto problem =
+      make_round(static_cast<std::size_t>(state.range(0)), 3, 18);
+  core::ApproScheduler appro;
+  const auto schedule = sched::execute_plan(problem, appro.plan(problem));
+  const auto fleet = core::fleet_state_at(problem, schedule,
+                                          0.4 * schedule.longest_delay());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::replan_from(problem, fleet));
+  }
+}
+BENCHMARK(BM_ReplanMidRound)->Arg(200)->Arg(600)->Arg(1200)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+#include "baselines/greedy_cover.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace mcharge::baselines {
+
+GreedyCoverScheduler::GreedyCoverScheduler()
+    : GreedyCoverScheduler(tsp::MinMaxTourOptions{}) {}
+
+GreedyCoverScheduler::GreedyCoverScheduler(tsp::MinMaxTourOptions options)
+    : options_(std::move(options)) {}
+
+sched::ChargingPlan GreedyCoverScheduler::plan(
+    const model::ChargingProblem& problem) const {
+  const std::size_t n = problem.size();
+  const std::size_t k = problem.num_chargers();
+  sched::ChargingPlan plan;
+  plan.mode = sched::ChargeMode::kMultiNode;
+  plan.tours.assign(k, {});
+  if (n == 0) return plan;
+
+  // Greedy maximum coverage. Gains only shrink as sensors get covered, so
+  // a simple re-scan with cached gains and lazy invalidation keeps this
+  // near O(picks * n) in practice.
+  std::vector<char> covered(n, 0);
+  std::vector<std::size_t> gain(n);
+  for (std::uint32_t v = 0; v < n; ++v) gain[v] = problem.coverage(v).size();
+  std::vector<char> picked(n, 0);
+  std::vector<std::uint32_t> stops;
+  std::size_t covered_count = 0;
+  while (covered_count < n) {
+    std::uint32_t best = 0;
+    std::size_t best_gain = 0;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (picked[v]) continue;
+      if (gain[v] <= best_gain) continue;
+      // Refresh the cached gain before trusting it.
+      std::size_t fresh = 0;
+      for (std::uint32_t u : problem.coverage(v)) fresh += !covered[u];
+      gain[v] = fresh;
+      if (fresh > best_gain) {
+        best_gain = fresh;
+        best = v;
+      }
+    }
+    MCHARGE_ASSERT(best_gain > 0, "greedy cover stalled before full coverage");
+    picked[best] = 1;
+    stops.push_back(best);
+    for (std::uint32_t u : problem.coverage(best)) {
+      if (!covered[u]) {
+        covered[u] = 1;
+        ++covered_count;
+      }
+    }
+  }
+
+  // Route the chosen stops: min-max K closed tours with tau(v) service.
+  tsp::TourProblem tour_problem;
+  tour_problem.depot = problem.depot();
+  tour_problem.speed = problem.speed();
+  for (std::uint32_t v : stops) {
+    tour_problem.sites.push_back(problem.position(v));
+    tour_problem.service.push_back(problem.tau(v));
+  }
+  const tsp::SplitResult split =
+      tsp::min_max_k_tours(tour_problem, k, options_);
+  for (std::size_t t = 0; t < k; ++t) {
+    for (tsp::SiteId site : split.tours[t]) {
+      plan.tours[t].push_back(stops[site]);
+    }
+  }
+  return plan;
+}
+
+}  // namespace mcharge::baselines

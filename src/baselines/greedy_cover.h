@@ -1,0 +1,29 @@
+// GreedyCover — an extra multi-node comparator (not from the paper).
+//
+// Picks sojourn locations by greedy maximum coverage (repeatedly take the
+// location whose charging disk covers the most still-uncovered sensors),
+// then routes the K MCVs over the chosen locations with the same min-max
+// tour splitting Appro uses. Unlike Appro it ignores the overlap structure:
+// chosen disks may intersect, so the executor has to serialize conflicting
+// sojourns by waiting. The ablation bench uses it to quantify what the
+// paper's MIS + overlap-graph machinery actually buys.
+#pragma once
+
+#include "schedule/scheduler.h"
+#include "tsp/split.h"
+
+namespace mcharge::baselines {
+
+class GreedyCoverScheduler : public sched::Scheduler {
+ public:
+  GreedyCoverScheduler();
+  explicit GreedyCoverScheduler(tsp::MinMaxTourOptions options);
+
+  std::string name() const override { return "GreedyCover"; }
+  sched::ChargingPlan plan(const model::ChargingProblem& problem) const override;
+
+ private:
+  tsp::MinMaxTourOptions options_;
+};
+
+}  // namespace mcharge::baselines

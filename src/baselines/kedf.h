@@ -1,0 +1,19 @@
+// Baseline K-EDF — Earliest Deadline First with K MCVs (benchmark (i)).
+//
+// Sorts the to-be-charged sensors by residual lifetime ascending,
+// partitions them into consecutive groups of K, and assigns each group's
+// sensors to the K MCVs with a minimum-total-travel assignment (Hungarian
+// algorithm) from the MCVs' current locations. One-to-one charging.
+#pragma once
+
+#include "schedule/scheduler.h"
+
+namespace mcharge::baselines {
+
+class KEdfScheduler : public sched::Scheduler {
+ public:
+  std::string name() const override { return "K-EDF"; }
+  sched::ChargingPlan plan(const model::ChargingProblem& problem) const override;
+};
+
+}  // namespace mcharge::baselines

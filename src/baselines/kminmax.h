@@ -1,0 +1,27 @@
+// Baseline K-minMax (Liang et al., ACM TOSN'16; benchmark (iii) in the
+// paper's evaluation).
+//
+// Finds K node-disjoint depot-rooted closed tours visiting every
+// to-be-charged sensor individually (one-to-one charging; the sojourn at a
+// sensor lasts exactly its own charging time t_v) such that the longest
+// tour delay is minimized. A 5-approximation via node-weighted TSP tour
+// construction + min-max splitting.
+#pragma once
+
+#include "schedule/scheduler.h"
+#include "tsp/split.h"
+
+namespace mcharge::baselines {
+
+class KMinMaxScheduler : public sched::Scheduler {
+ public:
+  explicit KMinMaxScheduler(tsp::MinMaxTourOptions options = {});
+
+  std::string name() const override { return "K-minMax"; }
+  sched::ChargingPlan plan(const model::ChargingProblem& problem) const override;
+
+ private:
+  tsp::MinMaxTourOptions options_;
+};
+
+}  // namespace mcharge::baselines

@@ -1,0 +1,26 @@
+// Baseline NETWRAP (Wang et al., IEEE TC'16; benchmark (ii)).
+//
+// Greedy online selection: the MCV that becomes idle first picks the
+// unassigned sensor minimizing a weighted sum of (a) travel time from the
+// MCV's current location and (b) the sensor's residual lifetime. Both terms
+// are normalized by their maxima over the remaining candidates (they live
+// on very different scales); `travel_weight` balances them. Ties are broken
+// by sensor id. One-to-one charging.
+#pragma once
+
+#include "schedule/scheduler.h"
+
+namespace mcharge::baselines {
+
+class NetwrapScheduler : public sched::Scheduler {
+ public:
+  explicit NetwrapScheduler(double travel_weight = 0.5);
+
+  std::string name() const override { return "NETWRAP"; }
+  sched::ChargingPlan plan(const model::ChargingProblem& problem) const override;
+
+ private:
+  double travel_weight_;
+};
+
+}  // namespace mcharge::baselines

@@ -1,0 +1,115 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.h"
+
+namespace mcharge::cluster {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// k-means++ seeding: first centroid uniform, subsequent ones with
+/// probability proportional to squared distance from the nearest chosen.
+std::vector<geom::Point> seed_centroids(const std::vector<geom::Point>& points,
+                                        std::size_t k, Rng& rng) {
+  std::vector<geom::Point> centroids;
+  centroids.reserve(k);
+  centroids.push_back(points[rng.below(points.size())]);
+  std::vector<double> dist2(points.size(), kInf);
+  while (centroids.size() < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      dist2[i] = std::min(dist2[i],
+                          geom::distance_sq(points[i], centroids.back()));
+      total += dist2[i];
+    }
+    if (total <= 0.0) {
+      // All points coincide with chosen centroids; duplicate arbitrarily.
+      centroids.push_back(points[rng.below(points.size())]);
+      continue;
+    }
+    double target = rng.uniform() * total;
+    std::size_t chosen = points.size() - 1;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      target -= dist2[i];
+      if (target <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids.push_back(points[chosen]);
+  }
+  return centroids;
+}
+
+}  // namespace
+
+KMeansResult kmeans(const std::vector<geom::Point>& points, std::size_t k,
+                    Rng& rng, std::size_t max_iterations) {
+  KMeansResult result;
+  if (points.empty() || k == 0) return result;
+  k = std::min(k, points.size());
+
+  result.centroids = seed_centroids(points, k, rng);
+  result.label.assign(points.size(), 0);
+
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment step.
+    bool changed = false;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      double best = kInf;
+      std::uint32_t best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d2 = geom::distance_sq(points[i], result.centroids[c]);
+        if (d2 < best) {
+          best = d2;
+          best_c = static_cast<std::uint32_t>(c);
+        }
+      }
+      if (result.label[i] != best_c) {
+        result.label[i] = best_c;
+        changed = true;
+      }
+    }
+    // Update step.
+    std::vector<geom::Point> sums(k, {0.0, 0.0});
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      sums[result.label[i]] = sums[result.label[i]] + points[i];
+      ++counts[result.label[i]];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] > 0) {
+        result.centroids[c] = sums[c] * (1.0 / static_cast<double>(counts[c]));
+      } else {
+        // Re-seed an empty cluster at the point farthest from its centroid.
+        double far_d = -1.0;
+        std::size_t far_i = 0;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+          const double d2 =
+              geom::distance_sq(points[i], result.centroids[result.label[i]]);
+          if (d2 > far_d) {
+            far_d = d2;
+            far_i = i;
+          }
+        }
+        result.centroids[c] = points[far_i];
+        result.label[far_i] = static_cast<std::uint32_t>(c);
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+  }
+
+  result.inertia = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    result.inertia += geom::distance_sq(points[i], result.centroids[result.label[i]]);
+  }
+  return result;
+}
+
+}  // namespace mcharge::cluster

@@ -1,0 +1,26 @@
+// Lloyd's k-means with k-means++ seeding, for the AA baseline's spatial
+// partition of to-be-charged sensors into K charger groups.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/point.h"
+#include "util/rng.h"
+
+namespace mcharge::cluster {
+
+struct KMeansResult {
+  std::vector<std::uint32_t> label;     ///< cluster id per input point
+  std::vector<geom::Point> centroids;  ///< one per cluster
+  double inertia = 0.0;                ///< sum of squared distances
+  std::size_t iterations = 0;
+};
+
+/// Runs k-means over `points`. `k` is clamped to the number of points.
+/// Empty clusters are re-seeded from the farthest point. Deterministic
+/// given the Rng state.
+KMeansResult kmeans(const std::vector<geom::Point>& points, std::size_t k,
+                    Rng& rng, std::size_t max_iterations = 100);
+
+}  // namespace mcharge::cluster

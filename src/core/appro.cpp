@@ -1,0 +1,257 @@
+#include "core/appro.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/overlap_graph.h"
+#include "util/assert.h"
+
+namespace mcharge::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Working state of one charging tour during the insertion phase.
+struct WorkTour {
+  std::vector<std::uint32_t> seq;       ///< sensor ids, visit order
+  std::vector<double> tau_prime;        ///< charging duration per stop
+  std::vector<double> finish;           ///< charging finish time f (Eq. (6))
+};
+
+/// Recomputes f along a tour from scratch (Eqs. (6), (11), (12) fold into
+/// a single forward pass once every stop's tau' is fixed).
+void recompute_finish(const model::ChargingProblem& p, WorkTour& tour) {
+  double clock = 0.0;
+  for (std::size_t l = 0; l < tour.seq.size(); ++l) {
+    clock += l == 0 ? p.travel_depot(tour.seq[l])
+                    : p.travel(tour.seq[l - 1], tour.seq[l]);
+    clock += tour.tau_prime[l];
+    tour.finish[l] = clock;
+  }
+}
+
+/// Travel detour of inserting sensor `u` right after position `pos`:
+/// d(seq[pos], u) + d(u, succ) - d(seq[pos], succ), where succ is the next
+/// stop (or the depot leg for the last position).
+double p_travel_after(const model::ChargingProblem& p, const WorkTour& tour,
+                      std::size_t pos, std::uint32_t u) {
+  const std::uint32_t at = tour.seq[pos];
+  if (pos + 1 < tour.seq.size()) {
+    const std::uint32_t succ = tour.seq[pos + 1];
+    return p.travel(at, u) + p.travel(u, succ) - p.travel(at, succ);
+  }
+  return p.travel(at, u) + p.travel_depot(u) - p.travel_depot(at);
+}
+
+}  // namespace
+
+ApproScheduler::ApproScheduler(ApproOptions options)
+    : options_(std::move(options)) {}
+
+sched::ChargingPlan ApproScheduler::plan(
+    const model::ChargingProblem& problem) const {
+  return plan_with_stats(problem, nullptr);
+}
+
+sched::ChargingPlan ApproScheduler::plan_with_stats(
+    const model::ChargingProblem& problem, ApproStats* stats) const {
+  const std::size_t n = problem.size();
+  const std::size_t k = problem.num_chargers();
+  sched::ChargingPlan plan;
+  plan.mode = sched::ChargeMode::kMultiNode;
+  plan.tours.assign(k, {});
+  if (n == 0) {
+    if (stats) *stats = ApproStats{};
+    return plan;
+  }
+
+  MCHARGE_ASSERT(options_.gc_mis_order != graph::MisOrder::kRandom &&
+                     options_.h_mis_order != graph::MisOrder::kRandom,
+                 "Appro is deterministic; use kIndex/kMinDegree/kPriority");
+
+  // Steps 1-2: charging graph and its MIS S_I. Priority orders use the
+  // worst-case sojourn time tau(v) as the key (urgent locations first).
+  const graph::Graph gc = charging_graph(problem);
+  std::vector<double> tau_key(n);
+  for (std::uint32_t v = 0; v < n; ++v) tau_key[v] = problem.tau(v);
+  const std::vector<graph::Vertex> s_i = graph::maximal_independent_set(
+      gc, options_.gc_mis_order, &tau_key, nullptr);
+  MCHARGE_ASSERT(graph::is_maximal_independent_set(gc, s_i),
+                 "S_I must be a maximal independent set of G_c");
+
+  // Step 3: overlap graph H on S_I (vertex i of H is s_i[i]).
+  const graph::Graph h = overlap_graph(problem, s_i);
+
+  // Step 4: MIS V'_H of H.
+  std::vector<double> tau_key_h(s_i.size());
+  for (std::size_t i = 0; i < s_i.size(); ++i) tau_key_h[i] = tau_key[s_i[i]];
+  const std::vector<graph::Vertex> vh_local = graph::maximal_independent_set(
+      h, options_.h_mis_order, &tau_key_h, nullptr);
+
+  // Step 5: K min-max closed tours over V'_H with service times tau(v).
+  tsp::TourProblem tour_problem;
+  tour_problem.depot = problem.depot();
+  tour_problem.speed = problem.speed();
+  std::vector<std::uint32_t> vh_sensors;  // sensor id per tour site
+  vh_sensors.reserve(vh_local.size());
+  for (graph::Vertex i : vh_local) {
+    const std::uint32_t sensor = s_i[i];
+    vh_sensors.push_back(sensor);
+    tour_problem.sites.push_back(problem.position(sensor));
+    tour_problem.service.push_back(problem.tau(sensor));
+  }
+  const tsp::SplitResult split =
+      tsp::min_max_k_tours(tour_problem, k, options_.tour);
+
+  // Working tours over sensor ids, with tau' = tau (coverage disks of V'_H
+  // nodes are pairwise disjoint, so nothing is double-counted initially).
+  std::vector<WorkTour> tours(k);
+  std::vector<char> covered(n, 0);  // sensors covered by committed stops
+  for (std::size_t t = 0; t < k; ++t) {
+    for (tsp::SiteId site : split.tours[t]) {
+      const std::uint32_t sensor = vh_sensors[site];
+      tours[t].seq.push_back(sensor);
+      tours[t].tau_prime.push_back(problem.tau(sensor));
+      for (std::uint32_t u : problem.coverage(sensor)) covered[u] = 1;
+    }
+    tours[t].finish.resize(tours[t].seq.size());
+    recompute_finish(problem, tours[t]);
+  }
+
+  // Position lookup: for each sensor in a tour, (tour, index).
+  std::vector<std::int32_t> tour_of(n, -1);
+  std::vector<std::size_t> pos_of(n, 0);
+  auto index_tours = [&](std::size_t t) {
+    for (std::size_t l = 0; l < tours[t].seq.size(); ++l) {
+      tour_of[tours[t].seq[l]] = static_cast<std::int32_t>(t);
+      pos_of[tours[t].seq[l]] = l;
+    }
+  };
+  for (std::size_t t = 0; t < k; ++t) index_tours(t);
+
+  ApproStats local_stats;
+  local_stats.v_s = n;
+  local_stats.s_i = s_i.size();
+  local_stats.v_h = vh_local.size();
+  local_stats.h_max_degree = h.max_degree();
+
+  // Step 6: insert U = S_I \ V'_H by increasing latest-neighbor finish
+  // time f_N (Eq. (8)). H-neighbors are looked up through the H graph
+  // (vertex i of H <-> sensor s_i[i]).
+  std::vector<char> in_vh(s_i.size(), 0);
+  for (graph::Vertex i : vh_local) in_vh[i] = 1;
+  std::vector<std::uint32_t> pending;  // indices into s_i
+  for (std::uint32_t i = 0; i < s_i.size(); ++i) {
+    if (!in_vh[i]) pending.push_back(i);
+  }
+
+  // f_N(u): max finish over u's H-neighbors that sit in a tour. Recomputed
+  // on demand each round because insertions shift finish times.
+  auto latest_neighbor_finish = [&](std::uint32_t hi) {
+    double best = -kInf;
+    for (graph::Vertex nb : h.neighbors(hi)) {
+      const std::uint32_t sensor = s_i[nb];
+      if (tour_of[sensor] >= 0) {
+        best = std::max(
+            best, tours[static_cast<std::size_t>(tour_of[sensor])]
+                      .finish[pos_of[sensor]]);
+      }
+    }
+    return best;
+  };
+
+  while (!pending.empty()) {
+    // Pick the pending node with the smallest f_N (Algorithm 1, line 9).
+    std::size_t pick = 0;
+    double pick_fn = kInf;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      const double fn = latest_neighbor_finish(pending[i]);
+      if (fn < pick_fn) {
+        pick_fn = fn;
+        pick = i;
+      }
+    }
+    const std::uint32_t hi = pending[pick];
+    pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(pick));
+    const std::uint32_t u = s_i[hi];
+
+    // Line 10: drop u if everything it would charge is already covered.
+    bool fully_covered = true;
+    double tau_prime_u = 0.0;
+    for (std::uint32_t w : problem.coverage(u)) {
+      if (!covered[w]) {
+        fully_covered = false;
+        tau_prime_u = std::max(tau_prime_u, problem.charge_seconds(w));
+      }
+    }
+    if (fully_covered) {
+      ++local_stats.dropped_covered;
+      continue;
+    }
+
+    // N'_H(u): H-neighbors already placed in tours. Non-empty because V'_H
+    // is maximal in H (u must have a neighbor in V'_H).
+    std::int32_t best_tour = -1;
+    std::size_t best_pos = 0;
+    double best_key = -kInf;
+    std::size_t distinct_tours = 0;
+    std::int32_t seen_tour = -1;
+    for (graph::Vertex nb : h.neighbors(hi)) {
+      const std::uint32_t sensor = s_i[nb];
+      const std::int32_t t = tour_of[sensor];
+      if (t < 0) continue;
+      if (t != seen_tour) {
+        if (seen_tour == -1 || distinct_tours == 1) ++distinct_tours;
+        seen_tour = t;
+      }
+      const auto& wt = tours[static_cast<std::size_t>(t)];
+      const std::size_t pos = pos_of[sensor];
+      double key;
+      if (options_.insertion == InsertionRule::kAfterMaxFinishNeighbor) {
+        // Paper: maximize the neighbor's charging finish time.
+        key = wt.finish[pos];
+      } else {
+        // Ablation: minimize the travel detour of inserting after `pos`
+        // (maximize its negation).
+        const double to_u = p_travel_after(problem, wt, pos, u);
+        key = -to_u;
+      }
+      if (key > best_key) {
+        best_key = key;
+        best_tour = t;
+        best_pos = pos;
+      }
+    }
+    MCHARGE_ASSERT(best_tour >= 0,
+                   "u in S_I \\ V'_H must have a placed H-neighbor");
+    if (distinct_tours <= 1) {
+      ++local_stats.inserted_case_one;  // Case (i)
+    } else {
+      ++local_stats.inserted_case_two;  // Case (ii)
+    }
+
+    // Insert u just after its max-finish-time neighbor (Eqs. (9)/(13)).
+    auto& tour = tours[static_cast<std::size_t>(best_tour)];
+    const std::size_t insert_at = best_pos + 1;
+    tour.seq.insert(tour.seq.begin() + static_cast<std::ptrdiff_t>(insert_at), u);
+    tour.tau_prime.insert(
+        tour.tau_prime.begin() + static_cast<std::ptrdiff_t>(insert_at),
+        tau_prime_u);
+    tour.finish.resize(tour.seq.size());
+    recompute_finish(problem, tour);
+    index_tours(static_cast<std::size_t>(best_tour));
+    for (std::uint32_t w : problem.coverage(u)) covered[w] = 1;
+  }
+
+  // Every sensor must now be covered (S_I dominates G_c).
+  for (std::uint32_t v = 0; v < n; ++v) {
+    MCHARGE_ASSERT(covered[v], "Appro left a sensor uncovered");
+  }
+
+  for (std::size_t t = 0; t < k; ++t) plan.tours[t] = std::move(tours[t].seq);
+  if (stats) *stats = local_stats;
+  return plan;
+}
+
+}  // namespace mcharge::core

@@ -1,0 +1,75 @@
+#include "core/bounds.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "graph/mst.h"
+
+namespace mcharge::core {
+
+double DelayLowerBounds::best() const {
+  return std::max({hardest_sensor, charging_volume, travel_volume});
+}
+
+DelayLowerBounds delay_lower_bounds(const model::ChargingProblem& problem) {
+  DelayLowerBounds bounds;
+  const std::size_t n = problem.size();
+  if (n == 0) return bounds;
+  const double gamma = problem.gamma();
+  const double speed = problem.speed();
+  const auto k = static_cast<double>(problem.num_chargers());
+
+  // --- hardest sensor ---
+  for (std::uint32_t v = 0; v < n; ++v) {
+    const double approach =
+        std::max(0.0, geom::distance(problem.depot(), problem.position(v)) -
+                          gamma);
+    bounds.hardest_sensor =
+        std::max(bounds.hardest_sensor,
+                 2.0 * approach / speed + problem.charge_seconds(v));
+  }
+
+  // --- 2*gamma-separated subset I, greedy by charging time ---
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return problem.charge_seconds(a) > problem.charge_seconds(b);
+  });
+  std::vector<std::uint32_t> separated;
+  const double min_dist_sq = 4.0 * gamma * gamma;
+  for (std::uint32_t v : order) {
+    bool ok = true;
+    for (std::uint32_t u : separated) {
+      if (geom::distance_sq(problem.position(v), problem.position(u)) <=
+          min_dist_sq) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) separated.push_back(v);
+  }
+
+  // --- charging volume over I ---
+  double total_charge = 0.0;
+  for (std::uint32_t v : separated) total_charge += problem.charge_seconds(v);
+  bounds.charging_volume = total_charge / k;
+
+  // --- travel volume over I ---
+  std::vector<geom::Point> pts;
+  pts.reserve(separated.size() + 1);
+  pts.push_back(problem.depot());
+  for (std::uint32_t v : separated) pts.push_back(problem.position(v));
+  const double mst = graph::total_weight(graph::euclidean_mst(pts));
+  const double shrunk =
+      mst - 2.0 * gamma * static_cast<double>(separated.size());
+  bounds.travel_volume = std::max(0.0, shrunk) / (k * speed);
+
+  return bounds;
+}
+
+double delay_lower_bound(const model::ChargingProblem& problem) {
+  return delay_lower_bounds(problem).best();
+}
+
+}  // namespace mcharge::core

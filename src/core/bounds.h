@@ -1,0 +1,46 @@
+// Lower bounds on the optimal longest charge delay.
+//
+// Used to report empirical approximation ratios (Appro / lower-bound) in
+// bench/approx_ratio and to sanity-check the exact solver in tests. All
+// bounds hold for ANY feasible schedule of the problem (any number of
+// stops, any assignment to the K MCVs):
+//
+//  * kHardestSensor — some MCV must reach the farthest-needed sensor's
+//    disk, charge at least t_v, and return: for every sensor v,
+//    OPT >= 2 * (d(depot, v) - gamma)/s + t_v.
+//  * kChargingVolume — take any subset I of sensors that pairwise share no
+//    potential sojourn disk (pairwise distance > 2*gamma). No stop charges
+//    two of them, so summed over the fleet the pure charging time is at
+//    least sum_{v in I} t_v, and the busiest MCV carries >= 1/K of it:
+//    OPT >= (sum_{v in I} t_v) / K. I is built greedily (largest t_v
+//    first) on the 2*gamma conflict graph.
+//  * kTravelVolume — every sensor of the 2*gamma-separated subset I needs
+//    its own stop within gamma of it, and the union of the K closed tours
+//    (all through the depot) is a connected subgraph spanning every stop,
+//    so the fleet's total travel is >= MST({depot} + stops). Perturbing
+//    each of I's points by <= gamma changes the MST weight by <= 2*gamma
+//    per tree edge, hence total travel >= MST({depot} + I) - 2*gamma*|I|
+//    and OPT >= that / (K * speed).
+//
+// lower_bound() returns the max of the enabled bounds.
+#pragma once
+
+#include "model/charging_problem.h"
+
+namespace mcharge::core {
+
+struct DelayLowerBounds {
+  double hardest_sensor = 0.0;
+  double charging_volume = 0.0;
+  double travel_volume = 0.0;
+
+  double best() const;
+};
+
+/// Computes all bounds for the problem (each valid individually).
+DelayLowerBounds delay_lower_bounds(const model::ChargingProblem& problem);
+
+/// max of the individual bounds; 0 for an empty problem.
+double delay_lower_bound(const model::ChargingProblem& problem);
+
+}  // namespace mcharge::core

@@ -1,0 +1,37 @@
+// Exact solver for the longest charge delay minimization problem on tiny
+// instances, by exhaustive branch-and-bound over multi-node plans.
+//
+// Semantics match the executor: a candidate is a covering set of sojourn
+// locations partitioned into K ordered tours; its value is the executed
+// longest delay (including any conflict waiting the executor inserts). The
+// search enumerates every covering location subset and every ordered
+// partition of it, pruning branches whose partial delay already exceeds
+// the incumbent. Exponential — usable up to ~7 sensors / stops — and meant
+// for tests and the empirical-approximation-ratio bench, not production.
+#pragma once
+
+#include <cstddef>
+
+#include "model/charging_problem.h"
+#include "schedule/plan.h"
+
+namespace mcharge::core {
+
+struct ExactOptions {
+  /// Hard cap on problem size (asserted); the search is O(m! * K^m) per
+  /// covering subset, over all 2^n covering subsets.
+  std::size_t max_sensors = 7;
+};
+
+struct ExactResult {
+  sched::ChargingPlan plan;      ///< an optimal plan
+  double longest_delay = 0.0;    ///< its executed longest delay
+  std::size_t nodes_explored = 0;
+};
+
+/// Exhaustively minimizes the executed longest delay. The problem must
+/// have at most options.max_sensors sensors.
+ExactResult exact_min_longest_delay(const model::ChargingProblem& problem,
+                                    const ExactOptions& options = {});
+
+}  // namespace mcharge::core

@@ -1,0 +1,32 @@
+#include "core/overlap_graph.h"
+
+#include "geometry/grid_index.h"
+#include "graph/unit_disk.h"
+
+namespace mcharge::core {
+
+graph::Graph charging_graph(const model::ChargingProblem& problem) {
+  return graph::unit_disk_graph(problem.positions(), problem.gamma());
+}
+
+graph::Graph overlap_graph(const model::ChargingProblem& problem,
+                           const std::vector<std::uint32_t>& subset) {
+  graph::Graph h(subset.size());
+  if (subset.empty()) return h;
+  std::vector<geom::Point> pts;
+  pts.reserve(subset.size());
+  for (std::uint32_t v : subset) pts.push_back(problem.position(v));
+  const double reach = 2.0 * problem.gamma();
+  geom::GridIndex index(pts, reach > 0.0 ? reach : 1.0);
+  for (std::uint32_t i = 0; i < subset.size(); ++i) {
+    index.visit_disk(pts[i], reach, [&](std::uint32_t j) {
+      if (j > i && problem.overlapping(subset[i], subset[j])) {
+        h.add_edge(i, j);
+      }
+      return true;
+    });
+  }
+  return h;
+}
+
+}  // namespace mcharge::core

@@ -1,0 +1,139 @@
+#include "core/replan.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/overlap_graph.h"
+#include "graph/mis.h"
+#include "util/assert.h"
+
+namespace mcharge::core {
+
+std::size_t FleetState::num_charged() const {
+  std::size_t total = 0;
+  for (char c : charged) total += (c != 0);
+  return total;
+}
+
+namespace {
+
+geom::Point interpolate(geom::Point from, geom::Point to, double fraction) {
+  return from + (to - from) * fraction;
+}
+
+/// Position of one MCV at time t.
+geom::Point mcv_position_at(const model::ChargingProblem& problem,
+                            const sched::McvSchedule& mcv, geom::Point start,
+                            double t) {
+  if (mcv.sojourns.empty()) return start;
+  // Before reaching the first stop: on the start -> first leg.
+  const geom::Point first = problem.position(mcv.sojourns.front().location);
+  if (t <= mcv.sojourns.front().arrival) {
+    const double leg = mcv.sojourns.front().arrival;
+    return leg > 0.0 ? interpolate(start, first, std::max(0.0, t) / leg)
+                     : first;
+  }
+  for (std::size_t i = 0; i < mcv.sojourns.size(); ++i) {
+    const auto& s = mcv.sojourns[i];
+    if (t <= s.finish) return problem.position(s.location);
+    const geom::Point here = problem.position(s.location);
+    const bool last = i + 1 == mcv.sojourns.size();
+    const geom::Point next =
+        last ? problem.depot() : problem.position(mcv.sojourns[i + 1].location);
+    const double depart = s.finish;
+    const double arrive = last ? mcv.return_time : mcv.sojourns[i + 1].arrival;
+    if (t < arrive) {
+      const double span = arrive - depart;
+      return span > 0.0 ? interpolate(here, next, (t - depart) / span) : next;
+    }
+  }
+  return problem.depot();  // tour completed
+}
+
+}  // namespace
+
+FleetState fleet_state_at(const model::ChargingProblem& problem,
+                          const sched::ChargingSchedule& schedule, double t) {
+  FleetState state;
+  state.time = t;
+  state.charged.assign(problem.size(), 0);
+  for (std::uint32_t v = 0; v < problem.size(); ++v) {
+    if (v < schedule.charged_at.size() &&
+        schedule.charged_at[v] != sched::kNeverCharged &&
+        schedule.charged_at[v] <= t) {
+      state.charged[v] = 1;
+    }
+  }
+  for (std::size_t k = 0; k < schedule.mcvs.size(); ++k) {
+    const geom::Point start =
+        k < schedule.starts.size() ? schedule.starts[k] : problem.depot();
+    state.mcv_positions.push_back(
+        mcv_position_at(problem, schedule.mcvs[k], start, t));
+  }
+  return state;
+}
+
+ReplanResult replan_from(const model::ChargingProblem& problem,
+                         const FleetState& state) {
+  MCHARGE_ASSERT(state.charged.size() == problem.size(),
+                 "fleet state does not match problem");
+  const std::size_t k = state.mcv_positions.size();
+  MCHARGE_ASSERT(k >= 1, "replan requires at least one MCV position");
+
+  ReplanResult result;
+  // Sub-problem over the uncharged sensors.
+  std::vector<geom::Point> positions;
+  std::vector<double> deficits;
+  for (std::uint32_t v = 0; v < problem.size(); ++v) {
+    if (state.charged[v]) continue;
+    result.original_index.push_back(v);
+    positions.push_back(problem.position(v));
+    deficits.push_back(problem.charge_seconds(v));
+  }
+  result.subproblem = model::ChargingProblem(
+      std::move(positions), std::move(deficits), problem.depot(),
+      problem.gamma(), problem.speed(), k);
+  result.subproblem.set_charging_rate(problem.charging_rate_w());
+
+  result.plan.mode = sched::ChargeMode::kMultiNode;
+  result.plan.tours.assign(k, {});
+  result.plan.starts = state.mcv_positions;
+  if (result.subproblem.size() == 0) return result;
+
+  // Sojourn stops: MIS of the charging graph over the remaining sensors
+  // (a dominating set, so every uncharged sensor is covered).
+  const graph::Graph gc = charging_graph(result.subproblem);
+  std::vector<graph::Vertex> stops = graph::maximal_independent_set(gc);
+
+  // Greedy balanced assignment: the MCV with the least accumulated delay
+  // takes its nearest unassigned stop.
+  std::vector<geom::Point> at = state.mcv_positions;
+  std::vector<double> load(k, 0.0);
+  std::vector<char> taken(stops.size(), 0);
+  for (std::size_t step = 0; step < stops.size(); ++step) {
+    std::size_t mcv = 0;
+    for (std::size_t j = 1; j < k; ++j) {
+      if (load[j] < load[mcv]) mcv = j;
+    }
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_i = 0;
+    for (std::size_t i = 0; i < stops.size(); ++i) {
+      if (taken[i]) continue;
+      const double d =
+          geom::distance(at[mcv], result.subproblem.position(stops[i]));
+      if (d < best) {
+        best = d;
+        best_i = i;
+      }
+    }
+    taken[best_i] = 1;
+    const graph::Vertex stop = stops[best_i];
+    result.plan.tours[mcv].push_back(stop);
+    load[mcv] += best / result.subproblem.speed() +
+                 result.subproblem.tau(stop);
+    at[mcv] = result.subproblem.position(stop);
+  }
+  return result;
+}
+
+}  // namespace mcharge::core

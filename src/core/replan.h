@@ -1,0 +1,53 @@
+// Mid-round fleet-state reconstruction and replanning.
+//
+// Engineering extension beyond the paper: when a round is interrupted at
+// time t (new urgent requests arrived, an MCV must be re-tasked), the base
+// station needs (a) where every MCV is at time t and what has already been
+// charged, and (b) a fresh plan for everything still uncharged that starts
+// from the MCVs' CURRENT positions (not the depot) and ends at the depot.
+//
+// The replanner selects sojourn stops exactly like Appro (MIS of the
+// charging graph over the remaining sensors — a dominating set, so
+// coverage is guaranteed) and then assigns stops greedily: the MCV with
+// the least accumulated delay takes its nearest remaining stop. Conflict
+// feasibility is delegated to the executor's waiting rule, as with any
+// plan.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/charging_problem.h"
+#include "schedule/plan.h"
+
+namespace mcharge::core {
+
+/// Snapshot of the fleet mid-execution.
+struct FleetState {
+  double time = 0.0;
+  std::vector<geom::Point> mcv_positions;
+  std::vector<char> charged;  ///< per sensor: fully charged by `time`?
+
+  std::size_t num_charged() const;
+};
+
+/// Reconstructs where each MCV is at time `t` of an executed schedule
+/// (interpolating along travel legs; parked during sojourns; back at the
+/// depot after its return time) and which sensors are charged by then.
+FleetState fleet_state_at(const model::ChargingProblem& problem,
+                          const sched::ChargingSchedule& schedule, double t);
+
+/// A replan: a fresh sub-problem over the still-uncharged sensors plus a
+/// plan for it whose tours start at the MCVs' current positions.
+struct ReplanResult {
+  model::ChargingProblem subproblem;          ///< uncharged sensors only
+  sched::ChargingPlan plan;                   ///< indexes `subproblem`
+  std::vector<std::uint32_t> original_index;  ///< subproblem id -> original
+};
+
+/// Plans the still-uncharged sensors of `problem` from the given fleet
+/// state. Execute and verify the result against `result.subproblem`.
+ReplanResult replan_from(const model::ChargingProblem& problem,
+                         const FleetState& state);
+
+}  // namespace mcharge::core

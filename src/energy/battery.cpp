@@ -1,0 +1,31 @@
+#include "energy/battery.h"
+
+#include <algorithm>
+
+namespace mcharge::energy {
+
+Battery::Battery(double capacity_joules, double initial_level)
+    : capacity_(capacity_joules) {
+  MCHARGE_ASSERT(capacity_joules >= 0.0, "battery capacity must be >= 0");
+  set_level(initial_level);
+}
+
+double Battery::drain(double joules) {
+  MCHARGE_ASSERT(joules >= 0.0, "drain amount must be >= 0");
+  const double removed = std::min(joules, level_);
+  level_ -= removed;
+  return removed;
+}
+
+double Battery::charge(double joules) {
+  MCHARGE_ASSERT(joules >= 0.0, "charge amount must be >= 0");
+  const double stored = std::min(joules, deficit());
+  level_ += stored;
+  return stored;
+}
+
+void Battery::set_level(double joules) {
+  level_ = std::clamp(joules, 0.0, capacity_);
+}
+
+}  // namespace mcharge::energy

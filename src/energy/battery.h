@@ -1,0 +1,39 @@
+// Rechargeable battery with clamped charge/discharge semantics.
+#pragma once
+
+#include "util/assert.h"
+
+namespace mcharge::energy {
+
+/// A sensor battery. Energies are in joules. Level is always in
+/// [0, capacity]; draining below zero saturates (the sensor is then dead
+/// until recharged) and charging above capacity saturates (full).
+class Battery {
+ public:
+  Battery() = default;
+  Battery(double capacity_joules, double initial_level);
+
+  double capacity() const { return capacity_; }
+  double level() const { return level_; }
+  double deficit() const { return capacity_ - level_; }
+  /// Fraction of capacity remaining, in [0, 1].
+  double fraction() const { return capacity_ > 0.0 ? level_ / capacity_ : 0.0; }
+  bool empty() const { return level_ <= 0.0; }
+  bool full() const { return level_ >= capacity_; }
+
+  /// Removes `joules` (>= 0); returns the amount actually removed (may be
+  /// less if the battery hits empty).
+  double drain(double joules);
+
+  /// Adds `joules` (>= 0); returns the amount actually stored.
+  double charge(double joules);
+
+  /// Sets the level directly (clamped to [0, capacity]).
+  void set_level(double joules);
+
+ private:
+  double capacity_ = 0.0;
+  double level_ = 0.0;
+};
+
+}  // namespace mcharge::energy

@@ -1,0 +1,11 @@
+#include "energy/radio.h"
+
+#include <cmath>
+
+namespace mcharge::energy {
+
+double RadioParams::tx_per_bit(double d) const {
+  return e_elec + e_amp * std::pow(d, alpha);
+}
+
+}  // namespace mcharge::energy

@@ -1,0 +1,72 @@
+#include "geometry/field.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace mcharge::geom {
+
+std::vector<Point> uniform_field(std::size_t n, double width, double height,
+                                 Rng& rng) {
+  MCHARGE_ASSERT(width > 0.0 && height > 0.0, "field must have positive size");
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(0.0, width), rng.uniform(0.0, height)});
+  }
+  return pts;
+}
+
+namespace {
+
+double clamp(double x, double lo, double hi) {
+  return std::min(std::max(x, lo), hi);
+}
+
+/// Box-Muller standard normal variate.
+double standard_normal(Rng& rng) {
+  double u1 = rng.uniform();
+  while (u1 <= 0.0) u1 = rng.uniform();
+  const double u2 = rng.uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+}  // namespace
+
+std::vector<Point> clustered_field(std::size_t n, double width, double height,
+                                   std::size_t clusters, double sigma,
+                                   Rng& rng) {
+  MCHARGE_ASSERT(clusters > 0, "clustered_field requires >= 1 cluster");
+  std::vector<Point> centers = uniform_field(clusters, width, height, rng);
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point& c = centers[rng.below(clusters)];
+    pts.push_back({clamp(c.x + sigma * standard_normal(rng), 0.0, width),
+                   clamp(c.y + sigma * standard_normal(rng), 0.0, height)});
+  }
+  return pts;
+}
+
+std::vector<Point> grid_field(std::size_t n, double width, double height,
+                              double jitter_fraction, Rng& rng) {
+  if (n == 0) return {};
+  const auto side =
+      static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(n))));
+  const double px = width / static_cast<double>(side);
+  const double py = height / static_cast<double>(side);
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto gx = static_cast<double>(i % side);
+    const auto gy = static_cast<double>(i / side);
+    const double jx = rng.uniform(-jitter_fraction, jitter_fraction) * px;
+    const double jy = rng.uniform(-jitter_fraction, jitter_fraction) * py;
+    pts.push_back({clamp((gx + 0.5) * px + jx, 0.0, width),
+                   clamp((gy + 0.5) * py + jy, 0.0, height)});
+  }
+  return pts;
+}
+
+}  // namespace mcharge::geom

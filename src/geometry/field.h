@@ -1,0 +1,29 @@
+// Random point-field generation for WRSN instances.
+#pragma once
+
+#include <vector>
+
+#include "geometry/point.h"
+#include "util/rng.h"
+
+namespace mcharge::geom {
+
+/// Uniform random points in the axis-aligned rectangle [0,w] x [0,h].
+std::vector<Point> uniform_field(std::size_t n, double width, double height,
+                                 Rng& rng);
+
+/// Clustered field: `clusters` Gaussian hotspots with the given standard
+/// deviation, cluster centers uniform in the rectangle, points clipped to
+/// the field. Models e.g. disaster-response deployments where sensors are
+/// dropped around incident sites.
+std::vector<Point> clustered_field(std::size_t n, double width, double height,
+                                   std::size_t clusters, double sigma,
+                                   Rng& rng);
+
+/// Regular jittered grid: sensors on a sqrt(n) x sqrt(n) lattice perturbed
+/// by uniform jitter (fraction of lattice pitch). Models planned
+/// agricultural deployments.
+std::vector<Point> grid_field(std::size_t n, double width, double height,
+                              double jitter_fraction, Rng& rng);
+
+}  // namespace mcharge::geom

@@ -1,0 +1,42 @@
+#include "geometry/point.h"
+
+#include "util/assert.h"
+
+namespace mcharge::geom {
+
+void BoundingBox::expand(Point p) {
+  if (empty) {
+    lo = hi = p;
+    empty = false;
+    return;
+  }
+  lo.x = std::min(lo.x, p.x);
+  lo.y = std::min(lo.y, p.y);
+  hi.x = std::max(hi.x, p.x);
+  hi.y = std::max(hi.y, p.y);
+}
+
+BoundingBox bounding_box(const std::vector<Point>& pts) {
+  BoundingBox box;
+  for (Point p : pts) box.expand(p);
+  return box;
+}
+
+double closed_tour_length(const std::vector<Point>& pts) {
+  if (pts.size() < 2) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i + 1 < pts.size(); ++i) {
+    total += distance(pts[i], pts[i + 1]);
+  }
+  total += distance(pts.back(), pts.front());
+  return total;
+}
+
+Point centroid(const std::vector<Point>& pts) {
+  MCHARGE_ASSERT(!pts.empty(), "centroid of empty point set");
+  Point c{0.0, 0.0};
+  for (Point p : pts) c = c + p;
+  return c * (1.0 / static_cast<double>(pts.size()));
+}
+
+}  // namespace mcharge::geom

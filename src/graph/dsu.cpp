@@ -1,0 +1,35 @@
+#include "graph/dsu.h"
+
+#include <numeric>
+
+#include "util/assert.h"
+
+namespace mcharge::graph {
+
+Dsu::Dsu(std::size_t n) : parent_(n), size_(n, 1), components_(n) {
+  std::iota(parent_.begin(), parent_.end(), 0u);
+}
+
+std::uint32_t Dsu::find(std::uint32_t x) {
+  MCHARGE_ASSERT(x < parent_.size(), "DSU element out of range");
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool Dsu::unite(std::uint32_t a, std::uint32_t b) {
+  a = find(a);
+  b = find(b);
+  if (a == b) return false;
+  if (size_[a] < size_[b]) std::swap(a, b);
+  parent_[b] = a;
+  size_[a] += size_[b];
+  --components_;
+  return true;
+}
+
+std::size_t Dsu::component_size(std::uint32_t x) { return size_[find(x)]; }
+
+}  // namespace mcharge::graph

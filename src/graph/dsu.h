@@ -1,0 +1,26 @@
+// Disjoint-set union (union-find) with path halving and union by size.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mcharge::graph {
+
+class Dsu {
+ public:
+  explicit Dsu(std::size_t n);
+
+  std::uint32_t find(std::uint32_t x);
+  /// Unites the sets of a and b; returns false iff already united.
+  bool unite(std::uint32_t a, std::uint32_t b);
+  bool same(std::uint32_t a, std::uint32_t b) { return find(a) == find(b); }
+  std::size_t num_components() const { return components_; }
+  std::size_t component_size(std::uint32_t x);
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> size_;
+  std::size_t components_;
+};
+
+}  // namespace mcharge::graph

@@ -1,0 +1,67 @@
+#include "graph/euler.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace mcharge::graph {
+
+bool all_degrees_even(
+    std::size_t n,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges) {
+  std::vector<std::size_t> degree(n, 0);
+  for (const auto& [u, v] : edges) {
+    MCHARGE_ASSERT(u < n && v < n, "euler: vertex out of range");
+    ++degree[u];
+    ++degree[v];
+  }
+  return std::all_of(degree.begin(), degree.end(),
+                     [](std::size_t d) { return d % 2 == 0; });
+}
+
+std::vector<std::uint32_t> eulerian_circuit(
+    std::size_t n,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges,
+    std::uint32_t start) {
+  MCHARGE_ASSERT(start < n, "euler: start vertex out of range");
+  if (edges.empty()) return {start};
+  MCHARGE_ASSERT(all_degrees_even(n, edges),
+                 "eulerian circuit requires all-even degrees");
+
+  // Adjacency as lists of edge ids; each undirected edge used once.
+  std::vector<std::vector<std::size_t>> incident(n);
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    incident[edges[e].first].push_back(e);
+    incident[edges[e].second].push_back(e);
+  }
+  std::vector<char> used(edges.size(), 0);
+  std::vector<std::size_t> cursor(n, 0);
+
+  // Iterative Hierholzer.
+  std::vector<std::uint32_t> stack{start};
+  std::vector<std::uint32_t> circuit;
+  while (!stack.empty()) {
+    const std::uint32_t v = stack.back();
+    bool advanced = false;
+    while (cursor[v] < incident[v].size()) {
+      const std::size_t e = incident[v][cursor[v]++];
+      if (used[e]) continue;
+      used[e] = 1;
+      const std::uint32_t w =
+          edges[e].first == v ? edges[e].second : edges[e].first;
+      stack.push_back(w);
+      advanced = true;
+      break;
+    }
+    if (!advanced) {
+      circuit.push_back(v);
+      stack.pop_back();
+    }
+  }
+  MCHARGE_ASSERT(circuit.size() == edges.size() + 1,
+                 "eulerian circuit did not use every edge; graph disconnected?");
+  std::reverse(circuit.begin(), circuit.end());
+  return circuit;
+}
+
+}  // namespace mcharge::graph

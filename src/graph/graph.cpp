@@ -1,0 +1,49 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace mcharge::graph {
+
+void Graph::add_edge(Vertex u, Vertex v) {
+  MCHARGE_ASSERT(u < adj_.size() && v < adj_.size(), "edge vertex out of range");
+  MCHARGE_ASSERT(u != v, "self-loops are not allowed");
+  auto& nu = adj_[u];
+  const auto it = std::lower_bound(nu.begin(), nu.end(), v);
+  if (it != nu.end() && *it == v) return;  // duplicate
+  nu.insert(it, v);
+  auto& nv = adj_[v];
+  nv.insert(std::lower_bound(nv.begin(), nv.end(), u), u);
+  ++num_edges_;
+}
+
+bool Graph::has_edge(Vertex u, Vertex v) const {
+  MCHARGE_ASSERT(u < adj_.size() && v < adj_.size(), "vertex out of range");
+  const auto& nu = adj_[u];
+  return std::binary_search(nu.begin(), nu.end(), v);
+}
+
+const std::vector<Vertex>& Graph::neighbors(Vertex v) const {
+  MCHARGE_ASSERT(v < adj_.size(), "vertex out of range");
+  return adj_[v];
+}
+
+std::size_t Graph::max_degree() const {
+  std::size_t best = 0;
+  for (const auto& nbrs : adj_) best = std::max(best, nbrs.size());
+  return best;
+}
+
+std::vector<std::pair<Vertex, Vertex>> Graph::edges() const {
+  std::vector<std::pair<Vertex, Vertex>> out;
+  out.reserve(num_edges_);
+  for (Vertex u = 0; u < adj_.size(); ++u) {
+    for (Vertex v : adj_[u]) {
+      if (u < v) out.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+}  // namespace mcharge::graph

@@ -1,0 +1,39 @@
+// Simple undirected graph with adjacency lists.
+//
+// Vertices are dense integer ids [0, n). Parallel edges and self-loops are
+// rejected at insertion; neighbor lists are kept sorted for fast membership
+// tests and deterministic iteration.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mcharge::graph {
+
+using Vertex = std::uint32_t;
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::size_t num_vertices) : adj_(num_vertices) {}
+
+  std::size_t num_vertices() const { return adj_.size(); }
+  std::size_t num_edges() const { return num_edges_; }
+
+  /// Adds undirected edge {u, v}. Ignores duplicates; rejects self-loops.
+  void add_edge(Vertex u, Vertex v);
+
+  bool has_edge(Vertex u, Vertex v) const;
+  const std::vector<Vertex>& neighbors(Vertex v) const;
+  std::size_t degree(Vertex v) const { return neighbors(v).size(); }
+  std::size_t max_degree() const;
+
+  /// All edges as (u, v) with u < v, lexicographically sorted.
+  std::vector<std::pair<Vertex, Vertex>> edges() const;
+
+ private:
+  std::vector<std::vector<Vertex>> adj_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace mcharge::graph

@@ -1,0 +1,35 @@
+// Minimum spanning trees: Prim for dense/complete geometric inputs,
+// Kruskal for explicit weighted edge lists.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "geometry/point.h"
+
+namespace mcharge::graph {
+
+struct WeightedEdge {
+  std::uint32_t u = 0;
+  std::uint32_t v = 0;
+  double weight = 0.0;
+};
+
+/// MST of the complete graph over n vertices with weights from `weight`,
+/// via Prim in O(n^2). Returns n-1 edges (empty for n <= 1).
+std::vector<WeightedEdge> prim_mst(
+    std::size_t n, const std::function<double(std::uint32_t, std::uint32_t)>& weight);
+
+/// MST of the complete Euclidean graph over `points`.
+std::vector<WeightedEdge> euclidean_mst(const std::vector<geom::Point>& points);
+
+/// Kruskal over an explicit edge list. If the graph is disconnected the
+/// result is a minimum spanning forest.
+std::vector<WeightedEdge> kruskal_mst(std::size_t n,
+                                      std::vector<WeightedEdge> edges);
+
+/// Total weight of an edge set.
+double total_weight(const std::vector<WeightedEdge>& edges);
+
+}  // namespace mcharge::graph

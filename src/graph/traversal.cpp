@@ -1,0 +1,57 @@
+#include "graph/traversal.h"
+
+#include <deque>
+#include <limits>
+
+#include "util/assert.h"
+
+namespace mcharge::graph {
+
+Components connected_components(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  Components result;
+  result.id.assign(n, std::numeric_limits<std::uint32_t>::max());
+  std::deque<Vertex> queue;
+  for (Vertex s = 0; s < n; ++s) {
+    if (result.id[s] != std::numeric_limits<std::uint32_t>::max()) continue;
+    const auto comp = static_cast<std::uint32_t>(result.count++);
+    result.id[s] = comp;
+    queue.push_back(s);
+    while (!queue.empty()) {
+      const Vertex v = queue.front();
+      queue.pop_front();
+      for (Vertex u : g.neighbors(v)) {
+        if (result.id[u] == std::numeric_limits<std::uint32_t>::max()) {
+          result.id[u] = comp;
+          queue.push_back(u);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+BfsTree bfs_tree(const Graph& g, Vertex root) {
+  const std::size_t n = g.num_vertices();
+  MCHARGE_ASSERT(root < n, "bfs root out of range");
+  BfsTree tree;
+  tree.hops.assign(n, std::numeric_limits<std::uint32_t>::max());
+  tree.parent.resize(n);
+  for (Vertex v = 0; v < n; ++v) tree.parent[v] = v;
+  std::deque<Vertex> queue{root};
+  tree.hops[root] = 0;
+  while (!queue.empty()) {
+    const Vertex v = queue.front();
+    queue.pop_front();
+    for (Vertex u : g.neighbors(v)) {
+      if (tree.hops[u] == std::numeric_limits<std::uint32_t>::max()) {
+        tree.hops[u] = tree.hops[v] + 1;
+        tree.parent[u] = v;
+        queue.push_back(u);
+      }
+    }
+  }
+  return tree;
+}
+
+}  // namespace mcharge::graph

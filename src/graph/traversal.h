@@ -1,0 +1,29 @@
+// Breadth-first traversal utilities: connected components and BFS trees.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mcharge::graph {
+
+/// Component id per vertex (ids are dense, assigned in discovery order) and
+/// the number of components.
+struct Components {
+  std::vector<std::uint32_t> id;
+  std::size_t count = 0;
+};
+
+Components connected_components(const Graph& g);
+
+/// BFS tree rooted at `root`: hop distance (UINT32_MAX if unreachable) and
+/// parent per vertex (parent[root] == root; parent of unreachable == self).
+struct BfsTree {
+  std::vector<std::uint32_t> hops;
+  std::vector<Vertex> parent;
+};
+
+BfsTree bfs_tree(const Graph& g, Vertex root);
+
+}  // namespace mcharge::graph

@@ -1,0 +1,26 @@
+#include "graph/unit_disk.h"
+
+#include "util/assert.h"
+
+namespace mcharge::graph {
+
+Graph unit_disk_graph(const geom::GridIndex& index, double radius) {
+  MCHARGE_ASSERT(radius >= 0.0, "disk radius must be non-negative");
+  const auto& pts = index.points();
+  Graph g(pts.size());
+  for (Vertex u = 0; u < pts.size(); ++u) {
+    index.visit_disk(pts[u], radius, [&](std::uint32_t v) {
+      if (v > u) g.add_edge(u, static_cast<Vertex>(v));
+      return true;
+    });
+  }
+  return g;
+}
+
+Graph unit_disk_graph(const std::vector<geom::Point>& points, double radius) {
+  const double cell = radius > 0.0 ? radius : 1.0;
+  geom::GridIndex index(points, cell);
+  return unit_disk_graph(index, radius);
+}
+
+}  // namespace mcharge::graph

@@ -1,0 +1,20 @@
+// Builders for geometric (unit-disk style) graphs over point sets.
+#pragma once
+
+#include <vector>
+
+#include "geometry/grid_index.h"
+#include "geometry/point.h"
+#include "graph/graph.h"
+
+namespace mcharge::graph {
+
+/// The charging graph G_c of the paper: vertices are the points, with an
+/// edge whenever the Euclidean distance is <= radius. Built with a grid
+/// index, expected O(n + |E|).
+Graph unit_disk_graph(const std::vector<geom::Point>& points, double radius);
+
+/// As unit_disk_graph but reusing a prebuilt index over the same points.
+Graph unit_disk_graph(const geom::GridIndex& index, double radius);
+
+}  // namespace mcharge::graph

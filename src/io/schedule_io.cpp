@@ -1,0 +1,75 @@
+#include "io/schedule_io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace mcharge::io {
+
+bool write_schedule_csv(const std::string& path,
+                        const model::ChargingProblem& problem,
+                        const sched::ChargingSchedule& schedule) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "mcv,stop,location,x,y,arrival,start,finish,wait,charged_count\n";
+  for (std::size_t k = 0; k < schedule.mcvs.size(); ++k) {
+    const auto& mcv = schedule.mcvs[k];
+    for (std::size_t i = 0; i < mcv.sojourns.size(); ++i) {
+      const auto& s = mcv.sojourns[i];
+      out << k << ',' << i << ',' << s.location << ','
+          << problem.position(s.location).x << ','
+          << problem.position(s.location).y << ',' << s.arrival << ','
+          << s.start << ',' << s.finish << ',' << s.wait() << ','
+          << s.charged.size() << '\n';
+    }
+    out << k << ",return,,,," << mcv.return_time << ",,,,\n";
+  }
+  return static_cast<bool>(out);
+}
+
+std::string render_timeline(const model::ChargingProblem& problem,
+                            const sched::ChargingSchedule& schedule,
+                            std::size_t width) {
+  (void)problem;
+  MCHARGE_ASSERT(width >= 10, "timeline needs at least 10 columns");
+  double span = 0.0;
+  for (const auto& mcv : schedule.mcvs) {
+    span = std::max(span, mcv.return_time);
+  }
+  std::ostringstream out;
+  if (span <= 0.0) {
+    out << "(empty schedule)\n";
+    return out.str();
+  }
+  const double per_col = span / static_cast<double>(width);
+  out << "timeline: " << span << " s total, one column = " << per_col
+      << " s  ('=' charging, 'w' waiting, '-' travel/idle)\n";
+  for (std::size_t k = 0; k < schedule.mcvs.size(); ++k) {
+    std::string lane(width, ' ');
+    const auto& mcv = schedule.mcvs[k];
+    auto paint = [&](double from, double to, char c) {
+      if (to <= from) return;
+      auto lo = static_cast<std::size_t>(from / per_col);
+      auto hi = static_cast<std::size_t>(to / per_col);
+      lo = std::min(lo, width - 1);
+      hi = std::min(hi, width - 1);
+      for (std::size_t col = lo; col <= hi; ++col) {
+        // Never overwrite a stronger mark ('=' > 'w' > '-').
+        if (c == '=' || lane[col] == ' ' || (c == 'w' && lane[col] == '-')) {
+          lane[col] = c;
+        }
+      }
+    };
+    paint(0.0, mcv.return_time, '-');
+    for (const auto& s : mcv.sojourns) {
+      paint(s.arrival, s.start, 'w');
+      paint(s.start, s.finish, '=');
+    }
+    out << "mcv " << k << " |" << lane << "| " << mcv.return_time << " s\n";
+  }
+  return out.str();
+}
+
+}  // namespace mcharge::io

@@ -1,0 +1,26 @@
+// Schedule export: CSV of executed sojourns and an ASCII timeline (Gantt)
+// rendering for terminal inspection.
+#pragma once
+
+#include <string>
+
+#include "model/charging_problem.h"
+#include "schedule/plan.h"
+
+namespace mcharge::io {
+
+/// Writes one row per sojourn:
+///   mcv,stop,location,x,y,arrival,start,finish,wait,charged_count
+/// plus a trailing `return` row per MCV.
+bool write_schedule_csv(const std::string& path,
+                        const model::ChargingProblem& problem,
+                        const sched::ChargingSchedule& schedule);
+
+/// Renders an ASCII timeline: one lane per MCV, time on the horizontal
+/// axis scaled to `width` columns. '=' marks charging, '-' travel/idle,
+/// 'w' waiting on the no-overlap constraint.
+std::string render_timeline(const model::ChargingProblem& problem,
+                            const sched::ChargingSchedule& schedule,
+                            std::size_t width = 100);
+
+}  // namespace mcharge::io

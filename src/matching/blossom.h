@@ -1,0 +1,32 @@
+// Exact minimum-weight perfect matching on complete graphs via the
+// O(n^3) weighted blossom algorithm (Galil's primal-dual scheme with lazy
+// slack maintenance, the classic formulation used throughout the
+// literature).
+//
+// Internally the solver maximizes total weight with integer arithmetic:
+// the caller's real-valued costs are affinely transformed (shift + scale
+// + negate) into positive integers, so the result is exact for the scaled
+// weights — with the default resolution of 2^20 steps over the cost range,
+// the matching it returns is optimal to within ~1e-6 of the true optimum
+// on typical geometric inputs, and the tests verify it against the exact
+// bitmask DP on every instance small enough to cross-check.
+//
+// Complexity O(n^3); practical well beyond the odd-vertex sets Christofides
+// produces at this project's scales (n <= ~700).
+#pragma once
+
+#include <cstdint>
+
+#include "matching/matching.h"
+
+namespace mcharge::matching {
+
+/// Exact blossom solver. Requires even n > 0 handled by caller (n == 0
+/// returns empty). Complete graph; weights from `weight` (any real
+/// values).
+Matching blossom_min_weight_matching(std::size_t n, const WeightFn& weight);
+
+/// Resolution used when quantizing real weights to integers.
+inline constexpr std::int64_t kBlossomResolution = 1 << 20;
+
+}  // namespace mcharge::matching

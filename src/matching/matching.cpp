@@ -1,0 +1,160 @@
+#include "matching/matching.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "matching/blossom.h"
+#include "util/assert.h"
+
+namespace mcharge::matching {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+int lowest_set_bit(std::uint32_t mask) {
+  return __builtin_ctz(mask);
+}
+
+}  // namespace
+
+Matching exact_min_weight_matching(std::size_t n, const WeightFn& weight) {
+  MCHARGE_ASSERT(n % 2 == 0, "perfect matching requires even n");
+  MCHARGE_ASSERT(n <= 20, "exact matching limited to n <= 20");
+  if (n == 0) return {};
+
+  const std::uint32_t full = (1u << n) - 1u;
+  std::vector<double> best(static_cast<std::size_t>(full) + 1, kInf);
+  // For each reached state, the pair (a, b) added last, packed as a*32 + b.
+  std::vector<std::int32_t> choice(static_cast<std::size_t>(full) + 1, -1);
+  best[0] = 0.0;
+  for (std::uint32_t mask = 0; mask < full; ++mask) {
+    if (best[mask] == kInf) continue;
+    // Pair the lowest unmatched vertex with every other unmatched vertex.
+    const std::uint32_t rem = full & ~mask;
+    const int a = lowest_set_bit(rem);
+    std::uint32_t rest = rem & ~(1u << a);
+    while (rest) {
+      const int b = lowest_set_bit(rest);
+      rest &= rest - 1;
+      const std::uint32_t next = mask | (1u << a) | (1u << b);
+      const double cost = best[mask] + weight(static_cast<std::uint32_t>(a),
+                                              static_cast<std::uint32_t>(b));
+      if (cost < best[next]) {
+        best[next] = cost;
+        choice[next] = a * 32 + b;
+      }
+    }
+  }
+
+  Matching result;
+  std::uint32_t mask = full;
+  while (mask) {
+    const std::int32_t packed = choice[mask];
+    MCHARGE_ASSERT(packed >= 0, "exact matching reconstruction failed");
+    const auto a = static_cast<std::uint32_t>(packed / 32);
+    const auto b = static_cast<std::uint32_t>(packed % 32);
+    result.emplace_back(a, b);
+    mask &= ~((1u << a) | (1u << b));
+  }
+  std::reverse(result.begin(), result.end());
+  return result;
+}
+
+Matching local_search_matching(std::size_t n, const WeightFn& weight) {
+  MCHARGE_ASSERT(n % 2 == 0, "perfect matching requires even n");
+  if (n == 0) return {};
+
+  // Greedy: repeatedly match the unmatched vertex with its nearest
+  // unmatched partner (scanning in index order for determinism).
+  std::vector<char> matched(n, 0);
+  std::vector<std::uint32_t> partner(n, 0);
+  for (std::uint32_t a = 0; a < n; ++a) {
+    if (matched[a]) continue;
+    double best_w = kInf;
+    std::uint32_t best_b = a;
+    for (std::uint32_t b = a + 1; b < n; ++b) {
+      if (matched[b]) continue;
+      const double w = weight(a, b);
+      if (w < best_w) {
+        best_w = w;
+        best_b = b;
+      }
+    }
+    MCHARGE_ASSERT(best_b != a, "odd number of unmatched vertices");
+    matched[a] = matched[best_b] = 1;
+    partner[a] = best_b;
+    partner[best_b] = a;
+  }
+
+  // 2-exchange improvement: for pairs {a,b} and {c,d}, try {a,c}/{b,d} and
+  // {a,d}/{b,c}. Repeat passes until no improvement (guaranteed to
+  // terminate: total weight strictly decreases).
+  std::vector<std::uint32_t> reps;  // one representative per pair, a < partner
+  reps.reserve(n / 2);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (v < partner[v]) reps.push_back(v);
+  }
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (std::size_t i = 0; i < reps.size(); ++i) {
+      for (std::size_t j = i + 1; j < reps.size(); ++j) {
+        const std::uint32_t a = reps[i], b = partner[a];
+        const std::uint32_t c = reps[j], d = partner[c];
+        const double current = weight(a, b) + weight(c, d);
+        const double alt1 = weight(a, c) + weight(b, d);
+        const double alt2 = weight(a, d) + weight(b, c);
+        if (alt1 < current - 1e-12 && alt1 <= alt2) {
+          partner[a] = c;
+          partner[c] = a;
+          partner[b] = d;
+          partner[d] = b;
+          reps[i] = std::min(a, c);
+          reps[j] = std::min(b, d);
+          improved = true;
+        } else if (alt2 < current - 1e-12) {
+          partner[a] = d;
+          partner[d] = a;
+          partner[b] = c;
+          partner[c] = b;
+          reps[i] = std::min(a, d);
+          reps[j] = std::min(b, c);
+          improved = true;
+        }
+      }
+    }
+  }
+
+  Matching result;
+  result.reserve(n / 2);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (v < partner[v]) result.emplace_back(v, partner[v]);
+  }
+  return result;
+}
+
+Matching min_weight_perfect_matching(std::size_t n, const WeightFn& weight) {
+  if (n <= kExactLimit) return exact_min_weight_matching(n, weight);
+  if (n <= kBlossomLimit) return blossom_min_weight_matching(n, weight);
+  return local_search_matching(n, weight);
+}
+
+double matching_weight(const Matching& m, const WeightFn& weight) {
+  double total = 0.0;
+  for (const auto& [a, b] : m) total += weight(a, b);
+  return total;
+}
+
+bool is_perfect_matching(std::size_t n, const Matching& m) {
+  if (m.size() * 2 != n) return false;
+  std::vector<char> seen(n, 0);
+  for (const auto& [a, b] : m) {
+    if (a >= n || b >= n || a == b) return false;
+    if (seen[a] || seen[b]) return false;
+    seen[a] = seen[b] = 1;
+  }
+  return true;
+}
+
+}  // namespace mcharge::matching

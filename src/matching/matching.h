@@ -1,0 +1,54 @@
+// Minimum-weight perfect matching on complete graphs with an even number of
+// vertices (the matching step of Christofides' TSP construction).
+//
+// Three engines:
+//  * exact DP: bitmask dynamic program, O(2^n * n); used for
+//    n <= kExactLimit and as the reference oracle in tests.
+//  * blossom (matching/blossom.h): exact O(n^3) primal-dual solver; the
+//    default above kExactLimit, giving Christofides its real 1.5-approx
+//    guarantee.
+//  * local search: greedy nearest-pair construction followed by repeated
+//    2-exchange improvement to a local optimum; kept as a fast fallback
+//    and as a comparison point in the micro benches (within ~2% of optimal
+//    on Euclidean inputs).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace mcharge::matching {
+
+using WeightFn = std::function<double(std::uint32_t, std::uint32_t)>;
+
+/// Pairs in a perfect matching; each vertex appears exactly once.
+using Matching = std::vector<std::pair<std::uint32_t, std::uint32_t>>;
+
+/// Largest n routed to the exact bitmask DP.
+inline constexpr std::size_t kExactLimit = 16;
+
+/// Largest n routed to the exact O(n^3) blossom solver; above this the
+/// 2-exchange local search takes over (the n^3 constant starts to matter
+/// inside simulation inner loops, and at those sizes the matching feeds a
+/// tour that is 2-opted anyway).
+inline constexpr std::size_t kBlossomLimit = 256;
+
+/// Exact minimum-weight perfect matching by bitmask DP. Requires even n,
+/// n <= 20 (asserted; 2^n states are materialized).
+Matching exact_min_weight_matching(std::size_t n, const WeightFn& weight);
+
+/// Greedy + 2-exchange local-search matching. Requires even n.
+Matching local_search_matching(std::size_t n, const WeightFn& weight);
+
+/// Dispatches by size: exact DP (n <= kExactLimit), blossom
+/// (n <= kBlossomLimit), local search beyond.
+Matching min_weight_perfect_matching(std::size_t n, const WeightFn& weight);
+
+/// Sum of edge weights in a matching.
+double matching_weight(const Matching& m, const WeightFn& weight);
+
+/// True iff m is a perfect matching over n vertices.
+bool is_perfect_matching(std::size_t n, const Matching& m);
+
+}  // namespace mcharge::matching

@@ -1,0 +1,223 @@
+#include "schedule/execute.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/assert.h"
+
+namespace mcharge::sched {
+
+namespace {
+
+struct Event {
+  double time;
+  std::uint32_t mcv;
+  std::size_t tour_pos;  ///< index of the location being visited
+
+  bool operator>(const Event& other) const {
+    if (time != other.time) return time > other.time;
+    return mcv > other.mcv;
+  }
+};
+
+/// A committed charging interval used for conflict detection.
+struct ActiveSojourn {
+  std::uint32_t mcv;
+  std::uint32_t location;
+  double start;
+  double finish;
+};
+
+/// Travel time from MCV k's start position to location `loc`.
+double start_leg(const model::ChargingProblem& problem,
+                 const ChargingPlan& plan, std::uint32_t mcv,
+                 std::uint32_t loc) {
+  const geom::Point start = plan.start_of(mcv, problem.depot());
+  return geom::distance(start, problem.position(loc)) / problem.speed();
+}
+
+void resolve_starts(const model::ChargingProblem& problem,
+                    const ChargingPlan& plan, ChargingSchedule* schedule) {
+  schedule->starts.clear();
+  for (std::size_t k = 0; k < plan.tours.size(); ++k) {
+    schedule->starts.push_back(plan.start_of(k, problem.depot()));
+  }
+}
+
+ChargingSchedule execute_multinode(const model::ChargingProblem& problem,
+                                   const ChargingPlan& plan) {
+  ChargingSchedule schedule;
+  schedule.mode = ChargeMode::kMultiNode;
+  schedule.mcvs.resize(plan.tours.size());
+  schedule.charged_at.assign(problem.size(), kNeverCharged);
+  resolve_starts(problem, plan, &schedule);
+
+  // `committed_for` marks sensors that are (or will be) fully charged by an
+  // already-committed sojourn, so later sojourns exclude them from tau'.
+  std::vector<char> committed(problem.size(), 0);
+  std::vector<ActiveSojourn> log;  // all committed sojourns with duration > 0
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+  for (std::uint32_t k = 0; k < plan.tours.size(); ++k) {
+    if (!plan.tours[k].empty()) {
+      events.push({start_leg(problem, plan, k, plan.tours[k][0]), k, 0});
+    } else {
+      schedule.mcvs[k].return_time = 0.0;
+    }
+  }
+
+  while (!events.empty()) {
+    Event ev = events.top();
+    events.pop();
+    const auto& tour = plan.tours[ev.mcv];
+    const std::uint32_t loc = tour[ev.tour_pos];
+
+    // Sensors this sojourn would charge.
+    std::vector<std::uint32_t> to_charge;
+    for (std::uint32_t u : problem.coverage(loc)) {
+      if (!committed[u]) to_charge.push_back(u);
+    }
+    double duration = 0.0;
+    for (std::uint32_t u : to_charge) {
+      duration = std::max(duration, problem.charge_seconds(u));
+    }
+
+    double start = ev.time;
+    if (duration > 0.0) {
+      // Wait out any committed conflicting interval still active at/after
+      // `start`: another MCV whose charging disk shares a sensor with ours.
+      double wait_until = start;
+      for (const auto& active : log) {
+        if (active.mcv == ev.mcv) continue;
+        if (active.finish <= start) continue;
+        if (problem.overlapping(active.location, loc)) {
+          wait_until = std::max(wait_until, active.finish);
+        }
+      }
+      if (wait_until > start) {
+        // Re-queue at the conflict's end: conditions may change by then (a
+        // third MCV may commit another conflicting interval meanwhile).
+        // True arrival times are rebuilt from travel legs after the loop.
+        events.push({wait_until, ev.mcv, ev.tour_pos});
+        continue;
+      }
+    }
+
+    // Commit the sojourn.
+    Sojourn sojourn;
+    sojourn.location = loc;
+    sojourn.arrival = ev.time;  // refined below via arrival tracking
+    sojourn.start = start;
+    sojourn.finish = start + duration;
+    sojourn.charged = to_charge;
+    for (std::uint32_t u : to_charge) {
+      committed[u] = 1;
+      schedule.charged_at[u] = sojourn.finish;
+    }
+    if (duration > 0.0) {
+      log.push_back({ev.mcv, loc, sojourn.start, sojourn.finish});
+    }
+    schedule.mcvs[ev.mcv].sojourns.push_back(std::move(sojourn));
+
+    // Next leg.
+    if (ev.tour_pos + 1 < tour.size()) {
+      const double travel = problem.travel(loc, tour[ev.tour_pos + 1]);
+      events.push({start + duration + travel, ev.mcv, ev.tour_pos + 1});
+    } else {
+      schedule.mcvs[ev.mcv].return_time =
+          start + duration + problem.travel_depot(loc);
+    }
+  }
+
+  // Fix up arrival times: an event re-queued by waiting loses its original
+  // arrival; recompute arrivals from travel legs so wait() is meaningful.
+  for (std::uint32_t k = 0; k < schedule.mcvs.size(); ++k) {
+    auto& mcv = schedule.mcvs[k];
+    double clock = 0.0;
+    std::uint32_t prev = 0;
+    bool first = true;
+    for (auto& s : mcv.sojourns) {
+      clock += first ? start_leg(problem, plan, k, s.location)
+                     : problem.travel(prev, s.location);
+      s.arrival = clock;
+      MCHARGE_DASSERT(s.start >= s.arrival - 1e-9,
+                      "sojourn starts before arrival");
+      clock = s.finish;
+      prev = s.location;
+      first = false;
+    }
+  }
+  return schedule;
+}
+
+ChargingSchedule execute_one_to_one(const model::ChargingProblem& problem,
+                                    const ChargingPlan& plan) {
+  ChargingSchedule schedule;
+  schedule.mode = ChargeMode::kOneToOne;
+  schedule.mcvs.resize(plan.tours.size());
+  schedule.charged_at.assign(problem.size(), kNeverCharged);
+  resolve_starts(problem, plan, &schedule);
+
+  // Process in global time order so that if two MCVs target the same
+  // sensor, the earlier one charges it and the later one skips (zero
+  // duration stop), mirroring the baselines' tie handling.
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+  for (std::uint32_t k = 0; k < plan.tours.size(); ++k) {
+    if (!plan.tours[k].empty()) {
+      events.push({start_leg(problem, plan, k, plan.tours[k][0]), k, 0});
+    }
+  }
+  std::vector<char> committed(problem.size(), 0);
+  while (!events.empty()) {
+    const Event ev = events.top();
+    events.pop();
+    const auto& tour = plan.tours[ev.mcv];
+    const std::uint32_t loc = tour[ev.tour_pos];
+
+    Sojourn sojourn;
+    sojourn.location = loc;
+    sojourn.arrival = ev.time;
+    sojourn.start = ev.time;
+    double duration = 0.0;
+    if (!committed[loc]) {
+      committed[loc] = 1;
+      duration = problem.charge_seconds(loc);
+      sojourn.charged = {loc};
+      schedule.charged_at[loc] = ev.time + duration;
+    }
+    sojourn.finish = ev.time + duration;
+    schedule.mcvs[ev.mcv].sojourns.push_back(std::move(sojourn));
+
+    if (ev.tour_pos + 1 < tour.size()) {
+      const double travel = problem.travel(loc, tour[ev.tour_pos + 1]);
+      events.push({ev.time + duration + travel, ev.mcv, ev.tour_pos + 1});
+    } else {
+      schedule.mcvs[ev.mcv].return_time =
+          ev.time + duration + problem.travel_depot(loc);
+    }
+  }
+  return schedule;
+}
+
+}  // namespace
+
+ChargingSchedule execute_plan(const model::ChargingProblem& problem,
+                              const ChargingPlan& plan) {
+  MCHARGE_ASSERT(plan.starts.empty() || plan.starts.size() == plan.tours.size(),
+                 "plan.starts must be empty or one per tour");
+  // Plans must not reuse a location across or within tours (node-disjoint
+  // closed tours per Definition 1).
+  std::vector<char> used(problem.size(), 0);
+  for (const auto& tour : plan.tours) {
+    for (std::uint32_t loc : tour) {
+      MCHARGE_ASSERT(loc < problem.size(), "plan references unknown location");
+      MCHARGE_ASSERT(!used[loc], "plans must visit each location at most once");
+      used[loc] = 1;
+    }
+  }
+  return plan.mode == ChargeMode::kMultiNode
+             ? execute_multinode(problem, plan)
+             : execute_one_to_one(problem, plan);
+}
+
+}  // namespace mcharge::sched

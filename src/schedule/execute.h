@@ -1,0 +1,30 @@
+// Plan execution: turns a ChargingPlan into a timed ChargingSchedule.
+//
+// Multi-node mode implements the paper's semantics:
+//  * an MCV parked at v charges every not-yet-charged sensor in N_c+(v);
+//    the sojourn's duration is tau'(v) = max t_u over that set (Eq. (3)) —
+//    zero if everything in range was already charged;
+//  * the no-overlap constraint is enforced: if starting to charge would
+//    energize a sensor inside another MCV's active charging disk, the MCV
+//    waits at the location until the conflicting sojourn finishes. Events
+//    are processed in global time order (ties by MCV id), so the result is
+//    deterministic and pairwise conflict-free by construction. A plan from
+//    algorithm Appro incurs (near-)zero waiting; the executor makes any
+//    plan feasible and measurable.
+//
+// One-to-one mode implements the baselines' scheme: the MCV charges only
+// the sensor it parks at, for t_v seconds (skipping sensors someone already
+// charged), with no cross-charger interference by assumption.
+#pragma once
+
+#include "model/charging_problem.h"
+#include "schedule/plan.h"
+
+namespace mcharge::sched {
+
+/// Executes `plan` against `problem`. The plan may reference each sensor
+/// location at most once across all tours (asserted).
+ChargingSchedule execute_plan(const model::ChargingProblem& problem,
+                              const ChargingPlan& plan);
+
+}  // namespace mcharge::sched

@@ -1,0 +1,101 @@
+// Charging plans and timed charging schedules.
+//
+// A scheduling algorithm outputs a ChargingPlan: one location sequence per
+// MCV plus the charging mode. The executor (execute.h) turns a plan into a
+// ChargingSchedule with concrete sojourn times, applying the paper's
+// de-duplicated charging durations (Eq. (3)) and the no-simultaneous-
+// charging constraint (waiting when two MCVs would energize a common
+// sensor at once).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "model/charging_problem.h"
+
+namespace mcharge::sched {
+
+/// How an MCV at a sojourn location delivers energy.
+enum class ChargeMode {
+  /// Multi-node charging (the paper's scheme): an MCV parked at location v
+  /// charges every sensor in N_c+(v) simultaneously.
+  kMultiNode,
+  /// One-to-one charging (the baselines' scheme): the MCV charges only the
+  /// sensor it is parked at.
+  kOneToOne,
+};
+
+/// One location sequence per MCV. Entries index sensors of the
+/// ChargingProblem (sojourn locations are co-located with sensors).
+struct ChargingPlan {
+  ChargeMode mode = ChargeMode::kMultiNode;
+  std::vector<std::vector<std::uint32_t>> tours;
+  /// Optional per-MCV start positions (same length as `tours`). Empty
+  /// means every MCV starts at the depot — the normal round-start case.
+  /// Mid-round replanning (core/replan.h) sets them to the MCVs' current
+  /// field positions; every tour still ENDS at the depot.
+  std::vector<geom::Point> starts;
+
+  std::size_t num_tours() const { return tours.size(); }
+  std::size_t total_stops() const;
+  /// The start position of MCV k given the problem's depot.
+  geom::Point start_of(std::size_t k, geom::Point depot) const;
+};
+
+/// A committed stop of one MCV.
+struct Sojourn {
+  std::uint32_t location = 0;  ///< sensor index the MCV parks at
+  double arrival = 0.0;        ///< when the MCV reaches the location
+  double start = 0.0;          ///< when charging begins (>= arrival: waits)
+  double finish = 0.0;         ///< start + actual charging duration tau'
+  std::vector<std::uint32_t> charged;  ///< sensors fully charged here
+
+  double wait() const { return start - arrival; }
+  double duration() const { return finish - start; }
+};
+
+/// The timed itinerary of one MCV.
+struct McvSchedule {
+  std::vector<Sojourn> sojourns;
+  double return_time = 0.0;  ///< back at the depot; this is T'(k), Eq. (4)
+};
+
+inline constexpr double kNeverCharged = std::numeric_limits<double>::infinity();
+
+/// A complete executed schedule for one charging round.
+struct ChargingSchedule {
+  ChargeMode mode = ChargeMode::kMultiNode;
+  std::vector<McvSchedule> mcvs;
+  /// Resolved start position per MCV (depot unless the plan overrode it).
+  std::vector<geom::Point> starts;
+  /// Per sensor of the problem: the time it reached full charge
+  /// (kNeverCharged if the plan never charged it).
+  std::vector<double> charged_at;
+
+  /// Energy use of one MCV over its tour, for fleet sizing.
+  struct EnergyUse {
+    double delivered_j = 0.0;   ///< wireless energy transferred to sensors
+    double locomotion_j = 0.0;  ///< travel energy (move_cost * meters)
+  };
+
+  /// max_k T'(k): the objective of the paper.
+  double longest_delay() const;
+  /// Total waiting injected to satisfy the no-overlap constraint.
+  double total_wait() const;
+  /// Travel time summed over all MCVs.
+  double total_travel(const model::ChargingProblem& problem) const;
+  std::size_t num_stops() const;
+  /// True iff every sensor got charged.
+  bool all_charged() const;
+
+  /// Per-MCV energy budget of the executed round: energy radiated while
+  /// charging (active duration * the problem's charging rate — the
+  /// transmitter runs for the whole sojourn regardless of how many sensors
+  /// absorb it) plus locomotion energy at `move_cost_j_per_m`.
+  std::vector<EnergyUse> energy_use(const model::ChargingProblem& problem,
+                                    double move_cost_j_per_m = 50.0) const;
+};
+
+}  // namespace mcharge::sched

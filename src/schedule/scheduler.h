@@ -1,0 +1,27 @@
+// The Scheduler interface implemented by algorithm Appro and the baselines.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "model/charging_problem.h"
+#include "schedule/plan.h"
+
+namespace mcharge::sched {
+
+/// A charging-tour scheduling algorithm: maps one charging round's problem
+/// (the frozen set V_s with deficits) to a plan for the K MCVs.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Human-readable algorithm name (matches the paper's legend).
+  virtual std::string name() const = 0;
+
+  /// Computes a plan covering every sensor of the problem.
+  virtual ChargingPlan plan(const model::ChargingProblem& problem) const = 0;
+};
+
+using SchedulerPtr = std::unique_ptr<Scheduler>;
+
+}  // namespace mcharge::sched

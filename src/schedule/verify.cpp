@@ -1,0 +1,156 @@
+#include "schedule/verify.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mcharge::sched {
+
+namespace {
+
+std::string fmt(const char* what, std::uint32_t mcv, std::size_t stop,
+                const std::string& detail) {
+  std::ostringstream os;
+  os << what << " (mcv " << mcv << ", stop " << stop << "): " << detail;
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<std::string> verify_schedule(const model::ChargingProblem& problem,
+                                         const ChargingSchedule& schedule,
+                                         const VerifyOptions& options) {
+  std::vector<std::string> violations;
+  const double eps = options.tolerance;
+
+  // --- Per-MCV timing and charge-set checks. ---
+  std::vector<int> charged_by(problem.size(), -1);
+  std::vector<char> visited(problem.size(), 0);
+  for (std::uint32_t k = 0; k < schedule.mcvs.size(); ++k) {
+    const auto& mcv = schedule.mcvs[k];
+    double clock = 0.0;
+    for (std::size_t i = 0; i < mcv.sojourns.size(); ++i) {
+      const Sojourn& s = mcv.sojourns[i];
+      if (s.location >= problem.size()) {
+        violations.push_back(fmt("bad location", k, i, "index out of range"));
+        continue;
+      }
+      if (visited[s.location]) {
+        violations.push_back(
+            fmt("revisited location", k, i,
+                "location " + std::to_string(s.location) + " already used"));
+      }
+      visited[s.location] = 1;
+
+      const geom::Point start = k < schedule.starts.size()
+                                    ? schedule.starts[k]
+                                    : problem.depot();
+      const double travel =
+          i == 0 ? geom::distance(start, problem.position(s.location)) /
+                       problem.speed()
+                 : problem.travel(mcv.sojourns[i - 1].location, s.location);
+      if (s.arrival + eps < clock + travel) {
+        violations.push_back(fmt("early arrival", k, i,
+                                 "arrival precedes previous finish + travel"));
+      }
+      if (s.start + eps < s.arrival) {
+        violations.push_back(fmt("start before arrival", k, i, ""));
+      }
+      if (s.finish + eps < s.start) {
+        violations.push_back(fmt("negative duration", k, i, ""));
+      }
+
+      // Charge set must lie in the coverage disk (multi-node) or be exactly
+      // the parked sensor (one-to-one), and the duration must cover the
+      // slowest sensor in the set.
+      double needed = 0.0;
+      for (std::uint32_t u : s.charged) {
+        if (u >= problem.size()) {
+          violations.push_back(fmt("bad charged sensor", k, i, ""));
+          continue;
+        }
+        needed = std::max(needed, problem.charge_seconds(u));
+        const bool in_range =
+            schedule.mode == ChargeMode::kMultiNode
+                ? std::binary_search(problem.coverage(s.location).begin(),
+                                     problem.coverage(s.location).end(), u)
+                : u == s.location;
+        if (!in_range) {
+          violations.push_back(
+              fmt("charge outside range", k, i,
+                  "sensor " + std::to_string(u) + " not chargeable from " +
+                      std::to_string(s.location)));
+        }
+        if (charged_by[u] != -1) {
+          violations.push_back(fmt(
+              "double charge", k, i,
+              "sensor " + std::to_string(u) + " already charged by mcv " +
+                  std::to_string(charged_by[u])));
+        } else {
+          charged_by[u] = static_cast<int>(k);
+        }
+      }
+      if (s.finish - s.start + eps < needed) {
+        violations.push_back(
+            fmt("undercharge", k, i,
+                "duration shorter than the largest deficit in the set"));
+      }
+      clock = s.finish;
+    }
+    if (!mcv.sojourns.empty()) {
+      const double expected_return =
+          clock + problem.travel_depot(mcv.sojourns.back().location);
+      if (std::abs(mcv.return_time - expected_return) > eps) {
+        violations.push_back(fmt("wrong return time", k,
+                                 mcv.sojourns.size() - 1, ""));
+      }
+    }
+  }
+
+  // --- Coverage. ---
+  if (options.require_full_coverage) {
+    for (std::uint32_t u = 0; u < problem.size(); ++u) {
+      if (charged_by[u] == -1) {
+        violations.push_back("uncovered sensor " + std::to_string(u));
+      }
+    }
+  }
+
+  // --- No simultaneous charging of a shared sensor (multi-node only). ---
+  if (schedule.mode == ChargeMode::kMultiNode) {
+    struct Interval {
+      std::uint32_t mcv;
+      std::uint32_t location;
+      double start, finish;
+    };
+    std::vector<Interval> intervals;
+    for (std::uint32_t k = 0; k < schedule.mcvs.size(); ++k) {
+      for (const auto& s : schedule.mcvs[k].sojourns) {
+        if (s.finish > s.start) {
+          intervals.push_back({k, s.location, s.start, s.finish});
+        }
+      }
+    }
+    for (std::size_t a = 0; a < intervals.size(); ++a) {
+      for (std::size_t b = a + 1; b < intervals.size(); ++b) {
+        const auto& x = intervals[a];
+        const auto& y = intervals[b];
+        if (x.mcv == y.mcv) continue;
+        const bool time_overlap =
+            x.start < y.finish - eps && y.start < x.finish - eps;
+        if (!time_overlap) continue;
+        if (problem.overlapping(x.location, y.location)) {
+          std::ostringstream os;
+          os << "simultaneous charging conflict: mcv " << x.mcv << " at "
+             << x.location << " [" << x.start << ", " << x.finish
+             << ") overlaps mcv " << y.mcv << " at " << y.location << " ["
+             << y.start << ", " << y.finish << ")";
+          violations.push_back(os.str());
+        }
+      }
+    }
+  }
+
+  return violations;
+}
+
+}  // namespace mcharge::sched

@@ -1,0 +1,38 @@
+// Independent feasibility checking of executed schedules.
+//
+// The checker re-derives every property from the raw sojourn records and
+// the ChargingProblem, sharing no code with the executor, so it can catch
+// executor bugs as well as infeasible plans.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/charging_problem.h"
+#include "schedule/plan.h"
+
+namespace mcharge::sched {
+
+struct VerifyOptions {
+  bool require_full_coverage = true;  ///< every sensor must be charged
+  double tolerance = 1e-6;            ///< seconds, for time comparisons
+};
+
+/// Returns human-readable violations; empty means the schedule is valid.
+/// Checks:
+///  * timing consistency per MCV (arrival >= previous finish + travel,
+///    start >= arrival, finish >= start, return time correct);
+///  * node-disjointness (no location visited twice);
+///  * charge-set correctness (charged sensors are inside the sojourn's
+///    coverage disk in multi-node mode / equal to the location in
+///    one-to-one mode; durations equal the max deficit of the set);
+///  * each sensor charged at most once, and at least once if
+///    require_full_coverage;
+///  * multi-node only: the no-simultaneous-charging constraint — no two
+///    active sojourns of different MCVs with intersecting coverage disks
+///    may overlap in time.
+std::vector<std::string> verify_schedule(const model::ChargingProblem& problem,
+                                         const ChargingSchedule& schedule,
+                                         const VerifyOptions& options = {});
+
+}  // namespace mcharge::sched

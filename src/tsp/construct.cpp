@@ -1,0 +1,204 @@
+#include "tsp/construct.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/dsu.h"
+#include "graph/euler.h"
+#include "graph/mst.h"
+#include "matching/matching.h"
+#include "util/assert.h"
+
+namespace mcharge::tsp {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Internally the TSP runs over m+1 vertices: 0 is the depot, vertex v >= 1
+// is site v-1.
+double vertex_distance(const TourProblem& p, std::uint32_t a, std::uint32_t b) {
+  const geom::Point pa = a == 0 ? p.depot : p.sites[a - 1];
+  const geom::Point pb = b == 0 ? p.depot : p.sites[b - 1];
+  return geom::distance(pa, pb);
+}
+
+/// Converts a vertex cycle (containing vertex 0 exactly once after
+/// shortcutting) into a site tour starting after the depot.
+Tour cycle_to_tour(const std::vector<std::uint32_t>& cycle) {
+  // Find depot position.
+  std::size_t depot_pos = 0;
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    if (cycle[i] == 0) {
+      depot_pos = i;
+      break;
+    }
+  }
+  Tour tour;
+  tour.reserve(cycle.size() - 1);
+  for (std::size_t step = 1; step < cycle.size(); ++step) {
+    const std::uint32_t v = cycle[(depot_pos + step) % cycle.size()];
+    tour.push_back(v - 1);
+  }
+  return tour;
+}
+
+/// Shortcuts an Eulerian walk into a Hamiltonian cycle (first occurrences).
+std::vector<std::uint32_t> shortcut(const std::vector<std::uint32_t>& walk,
+                                    std::size_t num_vertices) {
+  std::vector<char> seen(num_vertices, 0);
+  std::vector<std::uint32_t> cycle;
+  cycle.reserve(num_vertices);
+  for (std::uint32_t v : walk) {
+    if (!seen[v]) {
+      seen[v] = 1;
+      cycle.push_back(v);
+    }
+  }
+  return cycle;
+}
+
+}  // namespace
+
+Tour nearest_neighbor_tour(const TourProblem& problem) {
+  const std::size_t m = problem.size();
+  Tour tour;
+  tour.reserve(m);
+  std::vector<char> visited(m, 0);
+  geom::Point at = problem.depot;
+  for (std::size_t step = 0; step < m; ++step) {
+    double best = kInf;
+    SiteId best_v = 0;
+    for (SiteId v = 0; v < m; ++v) {
+      if (visited[v]) continue;
+      const double d = geom::distance(at, problem.sites[v]);
+      if (d < best) {
+        best = d;
+        best_v = v;
+      }
+    }
+    visited[best_v] = 1;
+    tour.push_back(best_v);
+    at = problem.sites[best_v];
+  }
+  return tour;
+}
+
+Tour greedy_edge_tour(const TourProblem& problem) {
+  const std::size_t n = problem.size() + 1;  // vertices incl. depot
+  if (problem.size() == 0) return {};
+  if (problem.size() == 1) return {0};
+
+  // Sort all vertex pairs by distance; accept an edge if both endpoints
+  // have degree < 2 and it does not close a subtour prematurely.
+  struct Edge {
+    std::uint32_t u, v;
+    double w;
+  };
+  std::vector<Edge> edges;
+  edges.reserve(n * (n - 1) / 2);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = u + 1; v < n; ++v) {
+      edges.push_back({u, v, vertex_distance(problem, u, v)});
+    }
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const Edge& a, const Edge& b) { return a.w < b.w; });
+
+  std::vector<std::uint32_t> degree(n, 0);
+  graph::Dsu dsu(n);
+  std::vector<std::vector<std::uint32_t>> adj(n);
+  std::size_t accepted = 0;
+  for (const Edge& e : edges) {
+    if (accepted == n) break;
+    if (degree[e.u] >= 2 || degree[e.v] >= 2) continue;
+    const bool closes = dsu.same(e.u, e.v);
+    if (closes && accepted != n - 1) continue;  // only final edge may close
+    dsu.unite(e.u, e.v);
+    ++degree[e.u];
+    ++degree[e.v];
+    adj[e.u].push_back(e.v);
+    adj[e.v].push_back(e.u);
+    ++accepted;
+  }
+  MCHARGE_ASSERT(accepted == n, "greedy edge construction incomplete");
+
+  // Walk the cycle starting from the depot.
+  std::vector<std::uint32_t> cycle;
+  cycle.reserve(n);
+  std::uint32_t prev = 0, at = 0;
+  do {
+    cycle.push_back(at);
+    const std::uint32_t next =
+        (adj[at][0] != prev || adj[at].size() == 1) ? adj[at][0] : adj[at][1];
+    prev = at;
+    at = next;
+  } while (at != 0);
+  return cycle_to_tour(cycle);
+}
+
+Tour double_tree_tour(const TourProblem& problem) {
+  const std::size_t n = problem.size() + 1;
+  if (problem.size() == 0) return {};
+  auto mst = graph::prim_mst(n, [&](std::uint32_t a, std::uint32_t b) {
+    return vertex_distance(problem, a, b);
+  });
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> doubled;
+  doubled.reserve(mst.size() * 2);
+  for (const auto& e : mst) {
+    doubled.emplace_back(e.u, e.v);
+    doubled.emplace_back(e.u, e.v);
+  }
+  const auto walk = graph::eulerian_circuit(n, doubled, 0);
+  return cycle_to_tour(shortcut(walk, n));
+}
+
+Tour christofides_tour(const TourProblem& problem) {
+  const std::size_t n = problem.size() + 1;
+  if (problem.size() == 0) return {};
+  if (problem.size() == 1) return {0};
+
+  auto mst = graph::prim_mst(n, [&](std::uint32_t a, std::uint32_t b) {
+    return vertex_distance(problem, a, b);
+  });
+
+  std::vector<std::size_t> degree(n, 0);
+  for (const auto& e : mst) {
+    ++degree[e.u];
+    ++degree[e.v];
+  }
+  std::vector<std::uint32_t> odd;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (degree[v] % 2 == 1) odd.push_back(v);
+  }
+  // Handshake lemma: |odd| is even.
+  const auto match = matching::min_weight_perfect_matching(
+      odd.size(), [&](std::uint32_t a, std::uint32_t b) {
+        return vertex_distance(problem, odd[a], odd[b]);
+      });
+
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> multigraph;
+  multigraph.reserve(mst.size() + match.size());
+  for (const auto& e : mst) multigraph.emplace_back(e.u, e.v);
+  for (const auto& [a, b] : match) multigraph.emplace_back(odd[a], odd[b]);
+
+  const auto walk = graph::eulerian_circuit(n, multigraph, 0);
+  return cycle_to_tour(shortcut(walk, n));
+}
+
+Tour build_tour(const TourProblem& problem, TourBuilder builder) {
+  switch (builder) {
+    case TourBuilder::kNearestNeighbor:
+      return nearest_neighbor_tour(problem);
+    case TourBuilder::kGreedyEdge:
+      return greedy_edge_tour(problem);
+    case TourBuilder::kDoubleTree:
+      return double_tree_tour(problem);
+    case TourBuilder::kChristofides:
+      return christofides_tour(problem);
+  }
+  MCHARGE_ASSERT(false, "unknown tour builder");
+  return {};
+}
+
+}  // namespace mcharge::tsp

@@ -1,0 +1,25 @@
+// Exact TSP via Held-Karp dynamic programming.
+//
+// Used as the reference oracle in tests and by the ablation benches to
+// measure construction-heuristic gaps on small instances. Exponential in
+// the number of sites (O(2^m * m^2) time, O(2^m * m) space); capped at
+// m <= 20.
+#pragma once
+
+#include "tsp/tour_problem.h"
+
+namespace mcharge::tsp {
+
+/// Largest site count accepted by held_karp_tour (2^m states are
+/// materialized).
+inline constexpr std::size_t kHeldKarpLimit = 20;
+
+/// The optimal closed tour (minimum travel time; service times are
+/// order-invariant and excluded from the optimization). Requires
+/// problem.size() <= kHeldKarpLimit (asserted).
+Tour held_karp_tour(const TourProblem& problem);
+
+/// The optimal closed-tour travel time without reconstructing the tour.
+double held_karp_travel_time(const TourProblem& problem);
+
+}  // namespace mcharge::tsp

@@ -1,0 +1,105 @@
+#include "tsp/improve.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace mcharge::tsp {
+
+namespace {
+
+// Distance helpers treating position -1 and position m as the depot.
+double leg(const TourProblem& p, const Tour& t, std::ptrdiff_t i,
+           std::ptrdiff_t j) {
+  const bool i_depot = i < 0 || i >= static_cast<std::ptrdiff_t>(t.size());
+  const bool j_depot = j < 0 || j >= static_cast<std::ptrdiff_t>(t.size());
+  if (i_depot && j_depot) return 0.0;
+  if (i_depot) return p.travel_depot(t[static_cast<std::size_t>(j)]);
+  if (j_depot) return p.travel_depot(t[static_cast<std::size_t>(i)]);
+  return p.travel(t[static_cast<std::size_t>(i)], t[static_cast<std::size_t>(j)]);
+}
+
+}  // namespace
+
+double two_opt(const TourProblem& problem, Tour& tour,
+               const ImproveOptions& options) {
+  const auto m = static_cast<std::ptrdiff_t>(tour.size());
+  if (m < 2) return 0.0;
+  double saved = 0.0;
+  for (std::size_t pass = 0; pass < options.max_passes; ++pass) {
+    bool improved = false;
+    // Reverse tour[i..j]; affected legs: (i-1, i) and (j, j+1) become
+    // (i-1, j) and (i, j+1). Depot legs included via sentinel positions.
+    for (std::ptrdiff_t i = 0; i < m - 1; ++i) {
+      for (std::ptrdiff_t j = i + 1; j < m; ++j) {
+        if (i == 0 && j == m - 1) continue;  // full reversal: no change
+        const double before = leg(problem, tour, i - 1, i) +
+                              leg(problem, tour, j, j + 1);
+        const double after = leg(problem, tour, i - 1, j) +
+                             leg(problem, tour, i, j + 1);
+        if (after < before - options.min_gain) {
+          std::reverse(tour.begin() + i, tour.begin() + j + 1);
+          saved += before - after;
+          improved = true;
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  return saved;
+}
+
+double or_opt(const TourProblem& problem, Tour& tour,
+              const ImproveOptions& options) {
+  const auto m = static_cast<std::ptrdiff_t>(tour.size());
+  if (m < 3) return 0.0;
+  double saved = 0.0;
+  for (std::size_t pass = 0; pass < options.max_passes; ++pass) {
+    bool improved = false;
+    for (std::ptrdiff_t len = 1; len <= 3 && len < m; ++len) {
+      for (std::ptrdiff_t i = 0; i + len <= m; ++i) {
+        // Segment [i, i+len); try inserting after position k (k outside the
+        // segment), i.e. between k and k+1.
+        const double removal_gain = leg(problem, tour, i - 1, i) +
+                                    leg(problem, tour, i + len - 1, i + len) -
+                                    leg(problem, tour, i - 1, i + len);
+        if (removal_gain <= options.min_gain) continue;
+        for (std::ptrdiff_t k = -1; k < m; ++k) {
+          if (k >= i - 1 && k < i + len) continue;  // no-op positions
+          const double insert_cost =
+              leg(problem, tour, k, i) + leg(problem, tour, i + len - 1, k + 1) -
+              leg(problem, tour, k, k + 1);
+          if (insert_cost < removal_gain - options.min_gain) {
+            // Perform the move on a copy of the segment.
+            Tour segment(tour.begin() + i, tour.begin() + i + len);
+            tour.erase(tour.begin() + i, tour.begin() + i + len);
+            std::ptrdiff_t dest = k < i ? k + 1 : k + 1 - len;
+            tour.insert(tour.begin() + dest, segment.begin(), segment.end());
+            saved += removal_gain - insert_cost;
+            improved = true;
+            break;  // positions shifted; restart the i loop conservatively
+          }
+        }
+        if (improved) break;
+      }
+      if (improved) break;
+    }
+    if (!improved) break;
+  }
+  return saved;
+}
+
+double improve_tour(const TourProblem& problem, Tour& tour,
+                    const ImproveOptions& options) {
+  double saved = 0.0;
+  for (std::size_t round = 0; round < options.max_passes; ++round) {
+    double round_gain = 0.0;
+    if (options.use_two_opt) round_gain += two_opt(problem, tour, options);
+    if (options.use_or_opt) round_gain += or_opt(problem, tour, options);
+    saved += round_gain;
+    if (round_gain <= options.min_gain) break;
+  }
+  return saved;
+}
+
+}  // namespace mcharge::tsp

@@ -1,0 +1,121 @@
+#include "tsp/split.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.h"
+
+namespace mcharge::tsp {
+
+namespace {
+
+/// Greedily cuts `tour` into segments of delay <= budget. Returns the
+/// segments, or an empty optional-equivalent (ok=false) if some single
+/// site alone exceeds the budget.
+struct GreedyCut {
+  bool ok = false;
+  std::vector<Tour> segments;
+};
+
+GreedyCut greedy_cut(const TourProblem& p, const Tour& tour, double budget) {
+  GreedyCut result;
+  Tour current;
+  double internal = 0.0;  // travel within segment + service
+  for (std::size_t i = 0; i < tour.size(); ++i) {
+    const SiteId v = tour[i];
+    const double solo = 2.0 * p.travel_depot(v) + p.service[v];
+    if (solo > budget) return result;  // infeasible budget
+    if (current.empty()) {
+      current.push_back(v);
+      internal = p.service[v];
+      continue;
+    }
+    const double extended = p.travel_depot(current.front()) + internal +
+                            p.travel(current.back(), v) + p.service[v] +
+                            p.travel_depot(v);
+    if (extended <= budget) {
+      internal += p.travel(current.back(), v) + p.service[v];
+      current.push_back(v);
+    } else {
+      result.segments.push_back(std::move(current));
+      current = {v};
+      internal = p.service[v];
+    }
+  }
+  if (!current.empty()) result.segments.push_back(std::move(current));
+  result.ok = true;
+  return result;
+}
+
+double max_segment_delay(const TourProblem& p, const std::vector<Tour>& segs) {
+  double worst = 0.0;
+  for (const auto& s : segs) worst = std::max(worst, tour_delay(p, s));
+  return worst;
+}
+
+}  // namespace
+
+SplitResult split_min_max(const TourProblem& problem, const Tour& tour,
+                          std::size_t k) {
+  MCHARGE_ASSERT(k >= 1, "split requires k >= 1");
+  MCHARGE_ASSERT(is_complete_tour(problem, tour),
+                 "split requires a complete tour");
+  SplitResult result;
+  if (tour.empty()) {
+    result.tours.assign(k, Tour{});
+    return result;
+  }
+
+  // Lower bound: the hardest single site. Upper bound: whole tour as one.
+  // The upper bound gets a relative nudge so that accumulation-order
+  // floating-point noise cannot make the whole-tour budget "infeasible".
+  double lo = 0.0;
+  for (SiteId v : tour) {
+    lo = std::max(lo, 2.0 * problem.travel_depot(v) + problem.service[v]);
+  }
+  double hi = std::max(lo, tour_delay(problem, tour));
+  hi += 1e-9 * std::max(1.0, hi);
+
+  GreedyCut best = greedy_cut(problem, tour, hi);
+  MCHARGE_ASSERT(best.ok && best.segments.size() <= std::max<std::size_t>(k, 1),
+                 "whole-tour budget must be feasible");
+
+  // Binary search the smallest budget whose greedy cut uses <= k segments.
+  for (int iter = 0; iter < 64 && hi - lo > 1e-9 * std::max(1.0, hi); ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    GreedyCut cut = greedy_cut(problem, tour, mid);
+    if (cut.ok && cut.segments.size() <= k) {
+      best = std::move(cut);
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+
+  result.tours = std::move(best.segments);
+  result.tours.resize(k);  // pad with empty tours
+  result.max_delay = max_segment_delay(problem, result.tours);
+  return result;
+}
+
+SplitResult min_max_k_tours(const TourProblem& problem, std::size_t k,
+                            const MinMaxTourOptions& options) {
+  problem.check();
+  if (problem.size() == 0) {
+    SplitResult r;
+    r.tours.assign(k, Tour{});
+    return r;
+  }
+  Tour tour = build_tour(problem, options.builder);
+  improve_tour(problem, tour, options.improve);
+  SplitResult result = split_min_max(problem, tour, k);
+  if (options.improve_segments) {
+    for (auto& segment : result.tours) {
+      two_opt(problem, segment, options.improve);
+    }
+    result.max_delay = max_segment_delay(problem, result.tours);
+  }
+  return result;
+}
+
+}  // namespace mcharge::tsp

@@ -1,0 +1,44 @@
+// Min-max K-tour splitting — the "K-optimal closed tour" substrate.
+//
+// Liang et al. (ACM TOSN'16) give a 5-approximation for finding K
+// node-disjoint depot-rooted closed tours covering a node set while
+// minimizing the longest (travel + service) tour delay. We implement the
+// classic tour-splitting scheme behind that family of results
+// (Frederickson, Hecht & Kim): build one node-weighted TSP tour over all
+// sites, then cut it into at most K consecutive segments, connecting each
+// segment's endpoints to the depot. The cut positions are chosen by binary
+// search on the max segment delay with a greedy feasibility check, which
+// finds the optimal cut of the given tour (up to numeric tolerance).
+#pragma once
+
+#include <vector>
+
+#include "tsp/construct.h"
+#include "tsp/improve.h"
+#include "tsp/tour_problem.h"
+
+namespace mcharge::tsp {
+
+struct SplitResult {
+  std::vector<Tour> tours;  ///< exactly K tours; trailing ones may be empty
+  double max_delay = 0.0;   ///< delay of the longest tour
+};
+
+/// Cuts the given complete closed tour into at most K depot-rooted segments
+/// minimizing the maximum segment delay. The input tour's site order is
+/// preserved inside each segment.
+SplitResult split_min_max(const TourProblem& problem, const Tour& tour,
+                          std::size_t k);
+
+struct MinMaxTourOptions {
+  TourBuilder builder = TourBuilder::kChristofides;
+  ImproveOptions improve;       ///< applied to the global tour before split
+  bool improve_segments = true; ///< 2-opt each segment after splitting
+};
+
+/// End-to-end K min-max closed tours over all sites of `problem`:
+/// construct -> improve -> split -> (optionally) improve each segment.
+SplitResult min_max_k_tours(const TourProblem& problem, std::size_t k,
+                            const MinMaxTourOptions& options = {});
+
+}  // namespace mcharge::tsp

@@ -1,0 +1,33 @@
+// Invariant-checking macros for the mcharge library.
+//
+// MCHARGE_ASSERT is active in all build types (the library is a research
+// artifact: a silently wrong schedule is worse than an abort). Use
+// MCHARGE_DASSERT for hot-path checks that should compile out in release.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mcharge::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "mcharge assertion failed: %s\n  at %s:%d\n  %s\n",
+               expr, file, line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace mcharge::detail
+
+#define MCHARGE_ASSERT(expr, msg)                                   \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      ::mcharge::detail::assert_fail(#expr, __FILE__, __LINE__, msg); \
+    }                                                               \
+  } while (false)
+
+#ifdef NDEBUG
+#define MCHARGE_DASSERT(expr, msg) ((void)0)
+#else
+#define MCHARGE_DASSERT(expr, msg) MCHARGE_ASSERT(expr, msg)
+#endif

@@ -1,0 +1,48 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace mcharge {
+
+CliFlags::CliFlags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (!arg.starts_with("--")) continue;
+    arg.remove_prefix(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string_view::npos) {
+      flags_[std::string(arg)] = "true";
+    } else {
+      flags_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+    }
+  }
+}
+
+bool CliFlags::has(const std::string& key) const {
+  return flags_.count(key) > 0;
+}
+
+std::string CliFlags::get(const std::string& key,
+                          const std::string& fallback) const {
+  auto it = flags_.find(key);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+long long CliFlags::get_int(const std::string& key, long long fallback) const {
+  auto it = flags_.find(key);
+  return it == flags_.end() ? fallback : std::atoll(it->second.c_str());
+}
+
+double CliFlags::get_double(const std::string& key, double fallback) const {
+  auto it = flags_.find(key);
+  return it == flags_.end() ? fallback : std::atof(it->second.c_str());
+}
+
+bool CliFlags::get_bool(const std::string& key, bool fallback) const {
+  auto it = flags_.find(key);
+  if (it == flags_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace mcharge

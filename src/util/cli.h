@@ -1,0 +1,27 @@
+// Minimal --key=value command-line parsing for bench and example binaries.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace mcharge {
+
+/// Parses flags of the form --key=value (or bare --key, value "true").
+/// Unrecognized positional arguments are collected separately.
+class CliFlags {
+ public:
+  CliFlags(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& fallback) const;
+  long long get_int(const std::string& key, long long fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  const std::map<std::string, std::string>& flags() const { return flags_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+};
+
+}  // namespace mcharge

@@ -1,0 +1,76 @@
+#include "util/table.h"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace mcharge {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  MCHARGE_ASSERT(!headers_.empty(), "table requires at least one column");
+}
+
+void Table::start_row() { cells_.emplace_back(); }
+
+void Table::add(const std::string& cell) {
+  MCHARGE_ASSERT(!cells_.empty(), "start_row() before add()");
+  MCHARGE_ASSERT(cells_.back().size() < headers_.size(),
+                 "row has more cells than headers");
+  cells_.back().push_back(cell);
+}
+
+void Table::add(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  add(os.str());
+}
+
+void Table::add(long long value) { add(std::to_string(value)); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : cells_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << "  " << std::setw(static_cast<int>(widths[c])) << cell;
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = 2;
+  for (auto w : widths) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : cells_) emit_row(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : cells_) emit(row);
+}
+
+bool Table::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  print_csv(f);
+  return static_cast<bool>(f);
+}
+
+}  // namespace mcharge

@@ -1,0 +1,39 @@
+// Plain-text table and CSV emission for benchmark harnesses.
+//
+// Every figure-reproduction binary prints (a) an aligned human-readable
+// table mirroring the paper's plotted series and (b) a CSV block that can be
+// piped into a plotting tool.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mcharge {
+
+/// A simple column-ordered table of strings with numeric helpers.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Begin a new row; subsequent add() calls fill it left to right.
+  void start_row();
+  void add(const std::string& cell);
+  void add(double value, int precision = 2);
+  void add(long long value);
+
+  std::size_t rows() const { return cells_.size(); }
+
+  /// Render with aligned columns.
+  void print(std::ostream& os) const;
+  /// Render as CSV (headers + rows).
+  void print_csv(std::ostream& os) const;
+  /// Write CSV to a file; returns false on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+}  // namespace mcharge

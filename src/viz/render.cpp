@@ -1,0 +1,102 @@
+#include "viz/render.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "viz/svg.h"
+
+namespace mcharge::viz {
+
+namespace {
+
+/// Pads a bounding box for markers near the edge.
+constexpr double kMargin = 4.0;
+
+void draw_station(SvgCanvas& svg, geom::Point at, const std::string& color,
+                  const std::string& label) {
+  svg.rect(at.x - 1.5, at.y - 1.5, 3.0, 3.0, color, 0.9);
+  svg.text(at.x + 2.0, at.y - 2.0, label, 3.0, color);
+}
+
+}  // namespace
+
+std::string mcv_color(std::size_t k) {
+  static const char* kPalette[] = {"#1f77b4", "#d62728", "#2ca02c",
+                                   "#9467bd", "#ff7f0e", "#17becf",
+                                   "#8c564b", "#e377c2"};
+  return kPalette[k % 8];
+}
+
+std::string render_instance_svg(const model::WrsnInstance& instance) {
+  const auto& config = instance.config;
+  SvgCanvas svg(-kMargin, -kMargin, config.field_width + 2 * kMargin,
+                config.field_height + 2 * kMargin);
+  double max_w = 1e-12;
+  for (double w : instance.consumption_w) max_w = std::max(max_w, w);
+  for (std::size_t v = 0; v < instance.num_sensors(); ++v) {
+    const double t = instance.consumption_w[v] / max_w;
+    svg.circle(instance.positions[v].x, instance.positions[v].y, 0.7,
+               lerp_color("#2ca02c", "#d62728", t), 0.85);
+  }
+  draw_station(svg, config.base_station, "#1f1f9f", "BS");
+  if (!(config.depot == config.base_station)) {
+    draw_station(svg, config.depot, "#9f1f1f", "depot");
+  }
+  std::ostringstream caption;
+  caption << instance.num_sensors() << " sensors; color = power draw (max "
+          << max_w * 1e3 << " mW)";
+  svg.text(0.0, config.field_height + kMargin - 1.0, caption.str(), 3.0);
+  return svg.finish();
+}
+
+std::string render_schedule_svg(const model::ChargingProblem& problem,
+                                const sched::ChargingSchedule& schedule) {
+  geom::BoundingBox box;
+  box.expand(problem.depot());
+  for (const auto& p : problem.positions()) box.expand(p);
+  const double width = std::max(box.width(), 1.0) + 2 * kMargin;
+  const double height = std::max(box.height(), 1.0) + 2 * kMargin;
+  SvgCanvas svg(box.lo.x - kMargin, box.lo.y - kMargin, width, height);
+
+  // Coverage disks and tour polylines per MCV.
+  for (std::size_t k = 0; k < schedule.mcvs.size(); ++k) {
+    const std::string color = mcv_color(k);
+    const auto& mcv = schedule.mcvs[k];
+    std::ostringstream points;
+    points << problem.depot().x << ',' << problem.depot().y << ' ';
+    for (const auto& s : mcv.sojourns) {
+      const geom::Point at = problem.position(s.location);
+      svg.circle(at.x, at.y, problem.gamma(), color, 0.12);
+      points << at.x << ',' << at.y << ' ';
+    }
+    points << problem.depot().x << ',' << problem.depot().y;
+    if (!mcv.sojourns.empty()) {
+      svg.polyline(points.str(), color, 0.4, 0.8);
+    }
+  }
+
+  // Sensors: shade by charging need; ring uncharged ones in red.
+  double max_t = 1e-12;
+  for (std::uint32_t v = 0; v < problem.size(); ++v) {
+    max_t = std::max(max_t, problem.charge_seconds(v));
+  }
+  for (std::uint32_t v = 0; v < problem.size(); ++v) {
+    const double t = problem.charge_seconds(v) / max_t;
+    const bool charged = v < schedule.charged_at.size() &&
+                         schedule.charged_at[v] != sched::kNeverCharged;
+    svg.circle(problem.position(v).x, problem.position(v).y, 0.5,
+               lerp_color("#cccccc", "#333333", t), 0.9,
+               charged ? "none" : "#d62728", charged ? 0.0 : 0.3);
+  }
+  draw_station(svg, problem.depot(), "#9f1f1f", "depot");
+
+  std::ostringstream caption;
+  caption << schedule.mcvs.size() << " MCVs, " << schedule.num_stops()
+          << " stops, longest delay " << schedule.longest_delay() / 3600.0
+          << " h";
+  svg.text(box.lo.x - kMargin + 1.0, box.lo.y - kMargin + 3.0, caption.str(),
+           3.0);
+  return svg.finish();
+}
+
+}  // namespace mcharge::viz

@@ -1,0 +1,25 @@
+// Domain renderers: WRSN instances and charging schedules as SVG.
+#pragma once
+
+#include <string>
+
+#include "model/charging_problem.h"
+#include "model/network.h"
+#include "schedule/plan.h"
+
+namespace mcharge::viz {
+
+/// The sensor field: sensors colored by power draw (green = cool, red =
+/// hot), base station and depot markers, comm-range legend.
+std::string render_instance_svg(const model::WrsnInstance& instance);
+
+/// One executed charging round: per-MCV tour polylines (distinct colors),
+/// coverage disks at every sojourn, sensors shaded by charging need, depot
+/// marker. Sensors never charged by the plan are ringed in red.
+std::string render_schedule_svg(const model::ChargingProblem& problem,
+                                const sched::ChargingSchedule& schedule);
+
+/// Distinct color for MCV k (cycles after 8).
+std::string mcv_color(std::size_t k);
+
+}  // namespace mcharge::viz

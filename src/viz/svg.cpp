@@ -1,0 +1,118 @@
+#include "viz/svg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+
+#include "util/assert.h"
+
+namespace mcharge::viz {
+
+SvgCanvas::SvgCanvas(double min_x, double min_y, double width, double height,
+                     double pixel_width) {
+  MCHARGE_ASSERT(width > 0.0 && height > 0.0, "svg canvas must be non-empty");
+  const double pixel_height = pixel_width * height / width;
+  body_ << std::setprecision(8);
+  body_ << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << pixel_width
+        << "\" height=\"" << pixel_height << "\" viewBox=\"" << min_x << ' '
+        << min_y << ' ' << width << ' ' << height << "\">\n";
+  body_ << "<rect x=\"" << min_x << "\" y=\"" << min_y << "\" width=\""
+        << width << "\" height=\"" << height << "\" fill=\"#fcfcfa\"/>\n";
+}
+
+void SvgCanvas::circle(double cx, double cy, double r, const std::string& fill,
+                       double fill_opacity, const std::string& stroke,
+                       double stroke_width) {
+  body_ << "<circle cx=\"" << cx << "\" cy=\"" << cy << "\" r=\"" << r
+        << "\" fill=\"" << fill << "\" fill-opacity=\"" << fill_opacity
+        << '"';
+  if (stroke != "none" && stroke_width > 0.0) {
+    body_ << " stroke=\"" << stroke << "\" stroke-width=\"" << stroke_width
+          << '"';
+  }
+  body_ << "/>\n";
+}
+
+void SvgCanvas::line(double x1, double y1, double x2, double y2,
+                     const std::string& stroke, double width, double opacity) {
+  body_ << "<line x1=\"" << x1 << "\" y1=\"" << y1 << "\" x2=\"" << x2
+        << "\" y2=\"" << y2 << "\" stroke=\"" << stroke << "\" stroke-width=\""
+        << width << "\" stroke-opacity=\"" << opacity << "\"/>\n";
+}
+
+void SvgCanvas::rect(double x, double y, double w, double h,
+                     const std::string& fill, double opacity) {
+  body_ << "<rect x=\"" << x << "\" y=\"" << y << "\" width=\"" << w
+        << "\" height=\"" << h << "\" fill=\"" << fill << "\" fill-opacity=\""
+        << opacity << "\"/>\n";
+}
+
+void SvgCanvas::polyline(const std::string& points, const std::string& stroke,
+                         double width, double opacity) {
+  body_ << "<polyline points=\"" << points << "\" fill=\"none\" stroke=\""
+        << stroke << "\" stroke-width=\"" << width << "\" stroke-opacity=\""
+        << opacity << "\"/>\n";
+}
+
+void SvgCanvas::text(double x, double y, const std::string& content,
+                     double size, const std::string& fill) {
+  body_ << "<text x=\"" << x << "\" y=\"" << y << "\" font-size=\"" << size
+        << "\" font-family=\"sans-serif\" fill=\"" << fill << "\">"
+        << escape_text(content) << "</text>\n";
+}
+
+std::string SvgCanvas::finish() {
+  MCHARGE_ASSERT(!finished_, "SvgCanvas::finish called twice");
+  finished_ = true;
+  body_ << "</svg>\n";
+  return body_.str();
+}
+
+bool SvgCanvas::write(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << finish();
+  return static_cast<bool>(out);
+}
+
+std::string escape_text(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string lerp_color(const std::string& from, const std::string& to,
+                       double t) {
+  MCHARGE_ASSERT(from.size() == 7 && from[0] == '#' && to.size() == 7 &&
+                     to[0] == '#',
+                 "colors must be #rrggbb");
+  t = std::clamp(t, 0.0, 1.0);
+  auto channel = [&](int offset) {
+    const int a = static_cast<int>(std::stoul(from.substr(offset, 2), nullptr, 16));
+    const int b = static_cast<int>(std::stoul(to.substr(offset, 2), nullptr, 16));
+    return static_cast<int>(std::lround(a + (b - a) * t));
+  };
+  char buffer[8];
+  std::snprintf(buffer, sizeof buffer, "#%02x%02x%02x", channel(1), channel(3),
+                channel(5));
+  return buffer;
+}
+
+}  // namespace mcharge::viz

@@ -1,0 +1,52 @@
+// Minimal SVG document builder (no external dependencies).
+//
+// Emits standalone SVG 1.1; coordinates are in user units with a viewBox,
+// so callers can draw directly in field meters.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mcharge::viz {
+
+class SvgCanvas {
+ public:
+  /// A document with viewBox "min_x min_y width height". `pixel_width` is
+  /// the rendered width; height follows the aspect ratio.
+  SvgCanvas(double min_x, double min_y, double width, double height,
+            double pixel_width = 800.0);
+
+  void circle(double cx, double cy, double r, const std::string& fill,
+              double fill_opacity = 1.0, const std::string& stroke = "none",
+              double stroke_width = 0.0);
+  void line(double x1, double y1, double x2, double y2,
+            const std::string& stroke, double width,
+            double opacity = 1.0);
+  void rect(double x, double y, double w, double h, const std::string& fill,
+            double opacity = 1.0);
+  /// Polyline through the given points ("x,y x,y ..." built by caller via
+  /// add_point). Begin with begin_polyline, feed points, then end.
+  void polyline(const std::string& points, const std::string& stroke,
+                double width, double opacity = 1.0);
+  void text(double x, double y, const std::string& content, double size,
+            const std::string& fill = "#333333");
+
+  /// Finalizes and returns the document. The canvas may not be reused.
+  std::string finish();
+
+  /// Writes finish() to a file; false on I/O failure.
+  bool write(const std::string& path);
+
+ private:
+  std::ostringstream body_;
+  bool finished_ = false;
+};
+
+/// Escapes <, >, & for text content.
+std::string escape_text(const std::string& raw);
+
+/// Linear two-color ramp (t in [0,1]) between hex colors "#rrggbb".
+std::string lerp_color(const std::string& from, const std::string& to,
+                       double t);
+
+}  // namespace mcharge::viz

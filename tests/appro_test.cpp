@@ -1,0 +1,282 @@
+// Tests for algorithm Appro (the paper's contribution).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/appro.h"
+#include "core/overlap_graph.h"
+#include "geometry/field.h"
+#include "graph/mis.h"
+#include "model/charging_problem.h"
+#include "schedule/estimate.h"
+#include "schedule/execute.h"
+#include "schedule/verify.h"
+#include "util/rng.h"
+
+namespace mcharge::core {
+namespace {
+
+using model::ChargingProblem;
+
+ChargingProblem random_problem(std::size_t n, std::size_t k, Rng& rng,
+                               double field = 100.0) {
+  std::vector<geom::Point> pts;
+  std::vector<double> deficits;
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(0.0, field), rng.uniform(0.0, field)});
+    deficits.push_back(rng.uniform(3456.0, 5400.0));  // 64%..100% of 10.8kJ/2W
+  }
+  return ChargingProblem(std::move(pts), std::move(deficits),
+                         {field / 2, field / 2}, 2.7, 1.0, k);
+}
+
+// ---------- overlap graph ----------
+
+TEST(OverlapGraph, ChargingGraphEdges) {
+  ChargingProblem p({{0, 0}, {2, 0}, {10, 0}}, {1, 1, 1}, {0, 0}, 2.7, 1.0, 1);
+  const auto gc = charging_graph(p);
+  EXPECT_TRUE(gc.has_edge(0, 1));
+  EXPECT_FALSE(gc.has_edge(0, 2));
+  EXPECT_FALSE(gc.has_edge(1, 2));
+}
+
+TEST(OverlapGraph, HEdgeIffCoverageIntersects) {
+  // 0 at x=0, 1 at x=4 (share the sensor at x=2), 2 at x=20 (isolated).
+  ChargingProblem p({{0, 0}, {4, 0}, {20, 0}, {2, 0}}, {1, 1, 1, 1}, {0, 0},
+                    2.7, 1.0, 1);
+  const std::vector<std::uint32_t> subset{0, 1, 2};
+  const auto h = overlap_graph(p, subset);
+  EXPECT_TRUE(h.has_edge(0, 1));
+  EXPECT_FALSE(h.has_edge(0, 2));
+  EXPECT_FALSE(h.has_edge(1, 2));
+}
+
+TEST(OverlapGraph, EmptySubset) {
+  ChargingProblem p({{0, 0}}, {1}, {0, 0}, 2.7, 1.0, 1);
+  const auto h = overlap_graph(p, {});
+  EXPECT_EQ(h.num_vertices(), 0u);
+}
+
+TEST(OverlapGraph, MatchesBruteForcePredicate) {
+  Rng rng(5);
+  auto p = random_problem(150, 2, rng, 60.0);
+  std::vector<std::uint32_t> subset;
+  for (std::uint32_t v = 0; v < p.size(); v += 3) subset.push_back(v);
+  const auto h = overlap_graph(p, subset);
+  for (std::uint32_t i = 0; i < subset.size(); ++i) {
+    for (std::uint32_t j = i + 1; j < subset.size(); ++j) {
+      EXPECT_EQ(h.has_edge(i, j), p.overlapping(subset[i], subset[j]));
+    }
+  }
+}
+
+// ---------- Appro pipeline ----------
+
+TEST(Appro, EmptyProblem) {
+  ApproScheduler appro;
+  ChargingProblem p({}, {}, {0, 0}, 2.7, 1.0, 3);
+  const auto plan = appro.plan(p);
+  EXPECT_EQ(plan.tours.size(), 3u);
+  EXPECT_EQ(plan.total_stops(), 0u);
+}
+
+TEST(Appro, SingleSensor) {
+  ApproScheduler appro;
+  ChargingProblem p({{10, 10}}, {500.0}, {0, 0}, 2.7, 1.0, 2);
+  const auto plan = appro.plan(p);
+  EXPECT_EQ(plan.total_stops(), 1u);
+  const auto schedule = sched::execute_plan(p, plan);
+  EXPECT_TRUE(schedule.all_charged());
+  EXPECT_TRUE(sched::verify_schedule(p, schedule).empty());
+}
+
+TEST(Appro, StatsAreConsistent) {
+  Rng rng(11);
+  const auto p = random_problem(400, 2, rng);
+  ApproScheduler appro;
+  ApproStats stats;
+  const auto plan = appro.plan_with_stats(p, &stats);
+  EXPECT_EQ(stats.v_s, 400u);
+  EXPECT_GE(stats.s_i, stats.v_h);
+  EXPECT_GT(stats.v_h, 0u);
+  EXPECT_EQ(stats.v_h + stats.inserted_case_one + stats.inserted_case_two +
+                stats.dropped_covered,
+            stats.s_i);
+  EXPECT_EQ(plan.total_stops(),
+            stats.v_h + stats.inserted_case_one + stats.inserted_case_two);
+}
+
+TEST(Appro, SojournLocationsFormIndependentSetOfGc) {
+  // All sojourn locations come from S_I, an independent set of G_c: no two
+  // stops within gamma of each other.
+  Rng rng(13);
+  const auto p = random_problem(300, 3, rng);
+  ApproScheduler appro;
+  const auto plan = appro.plan(p);
+  std::vector<std::uint32_t> stops;
+  for (const auto& tour : plan.tours) {
+    stops.insert(stops.end(), tour.begin(), tour.end());
+  }
+  for (std::size_t i = 0; i < stops.size(); ++i) {
+    for (std::size_t j = i + 1; j < stops.size(); ++j) {
+      EXPECT_GT(geom::distance(p.position(stops[i]), p.position(stops[j])),
+                p.gamma());
+    }
+  }
+}
+
+class ApproProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ApproProperty, SchedulesAreFeasibleAndComplete) {
+  const auto [seed, k] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 6151 + 2);
+  const std::size_t n = 50 + rng.below(350);
+  const auto p = random_problem(n, static_cast<std::size_t>(k), rng);
+  ApproScheduler appro;
+  const auto plan = appro.plan(p);
+  EXPECT_EQ(plan.tours.size(), static_cast<std::size_t>(k));
+  const auto schedule = sched::execute_plan(p, plan);
+  const auto violations = sched::verify_schedule(p, schedule);
+  EXPECT_TRUE(violations.empty())
+      << "first violation: " << (violations.empty() ? "" : violations[0]);
+  EXPECT_TRUE(schedule.all_charged());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ApproProperty,
+                         ::testing::Combine(::testing::Range(0, 6),
+                                            ::testing::Values(1, 2, 4)));
+
+class ApproBoundProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ApproBoundProperty, ExecutedDelayWithinEq5Bound) {
+  // T'(k) <= T(k) (Section III-C): holds whenever the executor injects no
+  // waiting, which is Appro's design goal. When waiting does occur the
+  // bound may be exceeded by exactly the waiting time — also checked.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 8887 + 1);
+  const std::size_t n = 50 + rng.below(250);
+  const auto p = random_problem(n, 2, rng);
+  ApproScheduler appro;
+  const auto plan = appro.plan(p);
+  const auto schedule = sched::execute_plan(p, plan);
+  const auto bounds = sched::estimate_tour_bounds(p, plan);
+  for (std::size_t k = 0; k < bounds.size(); ++k) {
+    double waited = 0.0;
+    for (const auto& s : schedule.mcvs[k].sojourns) waited += s.wait();
+    EXPECT_LE(schedule.mcvs[k].return_time, bounds[k] + waited + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ApproBoundProperty, ::testing::Range(0, 8));
+
+TEST(Appro, NearZeroConflictWaiting) {
+  // The insertion rule is designed so MCVs (almost) never wait on each
+  // other; executed waiting should be a negligible share of the delay.
+  Rng rng(17);
+  const auto p = random_problem(500, 3, rng);
+  ApproScheduler appro;
+  const auto schedule = sched::execute_plan(p, appro.plan(p));
+  EXPECT_LE(schedule.total_wait(), 0.05 * schedule.longest_delay());
+}
+
+TEST(Appro, DenseFieldUsesMultiNodeGain) {
+  // In a dense field Appro needs far fewer stops than sensors.
+  Rng rng(19);
+  const auto p = random_problem(800, 2, rng);
+  ApproScheduler appro;
+  const auto plan = appro.plan(p);
+  EXPECT_LT(plan.total_stops(), 700u);
+  const auto schedule = sched::execute_plan(p, plan);
+  EXPECT_TRUE(schedule.all_charged());
+}
+
+TEST(Appro, DeltaHBoundHolds) {
+  // Lemma 2: Delta_H <= ceil(8*pi) = 26.
+  Rng rng(23);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto p = random_problem(600, 2, rng);
+    ApproScheduler appro;
+    ApproStats stats;
+    appro.plan_with_stats(p, &stats);
+    EXPECT_LE(stats.h_max_degree, 26u);
+  }
+}
+
+TEST(Appro, CoincidentSensorsHandled) {
+  std::vector<geom::Point> pts(20, geom::Point{5.0, 5.0});
+  std::vector<double> deficits(20, 1000.0);
+  ChargingProblem p(std::move(pts), std::move(deficits), {0, 0}, 2.7, 1.0, 2);
+  ApproScheduler appro;
+  const auto plan = appro.plan(p);
+  EXPECT_EQ(plan.total_stops(), 1u);  // one stop charges all 20
+  const auto schedule = sched::execute_plan(p, plan);
+  EXPECT_TRUE(schedule.all_charged());
+  EXPECT_TRUE(sched::verify_schedule(p, schedule).empty());
+}
+
+TEST(Appro, MoreChargersNeverMuchWorse) {
+  // Longest delay should broadly decrease in K (splitting is monotone;
+  // insertion adds noise, so allow 10% slack).
+  Rng rng(29);
+  const auto p1 = random_problem(400, 1, rng);
+  ApproScheduler appro;
+  double prev = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 1; k <= 4; ++k) {
+    ChargingProblem p(
+        std::vector<geom::Point>(p1.positions()),
+        std::vector<double>(p1.charge_seconds()), p1.depot(), p1.gamma(),
+        p1.speed(), k);
+    const auto schedule = sched::execute_plan(p, appro.plan(p));
+    EXPECT_LT(schedule.longest_delay(), prev * 1.10);
+    prev = std::min(prev, schedule.longest_delay());
+  }
+}
+
+TEST(Appro, CheapestDetourInsertionAlsoFeasible) {
+  // The ablation insertion rule relies on executor waiting for feasibility;
+  // the executed schedule must still verify clean.
+  Rng rng(37);
+  const auto p = random_problem(400, 2, rng);
+  ApproOptions options;
+  options.insertion = InsertionRule::kCheapestNeighborDetour;
+  ApproScheduler appro(options);
+  const auto schedule = sched::execute_plan(p, appro.plan(p));
+  const auto violations = sched::verify_schedule(p, schedule);
+  EXPECT_TRUE(violations.empty())
+      << (violations.empty() ? "" : violations[0]);
+  EXPECT_TRUE(schedule.all_charged());
+}
+
+TEST(Appro, InsertionRulesCoverSameSensors) {
+  Rng rng(41);
+  const auto p = random_problem(300, 2, rng);
+  ApproOptions paper, ablation;
+  ablation.insertion = InsertionRule::kCheapestNeighborDetour;
+  const auto plan_a = ApproScheduler(paper).plan(p);
+  const auto plan_b = ApproScheduler(ablation).plan(p);
+  // Both rules process the same S_I in some order; stop multisets can
+  // differ, but both must fully cover the problem when executed.
+  EXPECT_TRUE(sched::execute_plan(p, plan_a).all_charged());
+  EXPECT_TRUE(sched::execute_plan(p, plan_b).all_charged());
+}
+
+TEST(Appro, MisOrderOptionsAllFeasible) {
+  Rng rng(31);
+  const auto p = random_problem(300, 2, rng);
+  for (auto order : {graph::MisOrder::kIndex, graph::MisOrder::kMinDegree,
+                     graph::MisOrder::kMaxDegree, graph::MisOrder::kPriority}) {
+    ApproOptions options;
+    options.gc_mis_order = order;
+    options.h_mis_order = order;
+    ApproScheduler appro(options);
+    const auto schedule = sched::execute_plan(p, appro.plan(p));
+    EXPECT_TRUE(sched::verify_schedule(p, schedule).empty())
+        << "order " << static_cast<int>(order);
+    EXPECT_TRUE(schedule.all_charged());
+  }
+}
+
+}  // namespace
+}  // namespace mcharge::core

@@ -1,0 +1,88 @@
+// Tests for k-means clustering.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/kmeans.h"
+#include "geometry/field.h"
+#include "util/rng.h"
+
+namespace mcharge::cluster {
+namespace {
+
+TEST(KMeans, EmptyInput) {
+  Rng rng(1);
+  const auto r = kmeans({}, 3, rng);
+  EXPECT_TRUE(r.label.empty());
+  EXPECT_TRUE(r.centroids.empty());
+}
+
+TEST(KMeans, KClampedToPointCount) {
+  Rng rng(2);
+  const std::vector<geom::Point> pts{{0, 0}, {1, 1}};
+  const auto r = kmeans(pts, 5, rng);
+  EXPECT_EQ(r.centroids.size(), 2u);
+  EXPECT_EQ(r.label.size(), 2u);
+}
+
+TEST(KMeans, SeparatedClustersRecovered) {
+  Rng rng(3);
+  std::vector<geom::Point> pts;
+  // Two tight blobs 80 m apart.
+  for (int i = 0; i < 50; ++i) {
+    pts.push_back({rng.uniform(0.0, 5.0), rng.uniform(0.0, 5.0)});
+  }
+  for (int i = 0; i < 50; ++i) {
+    pts.push_back({rng.uniform(80.0, 85.0), rng.uniform(80.0, 85.0)});
+  }
+  const auto r = kmeans(pts, 2, rng);
+  // All of blob one shares a label, all of blob two the other.
+  for (int i = 1; i < 50; ++i) EXPECT_EQ(r.label[i], r.label[0]);
+  for (int i = 51; i < 100; ++i) EXPECT_EQ(r.label[i], r.label[50]);
+  EXPECT_NE(r.label[0], r.label[50]);
+}
+
+TEST(KMeans, LabelsWithinRangeAndAllClustersUsed) {
+  Rng rng(4);
+  const auto pts = geom::uniform_field(200, 100.0, 100.0, rng);
+  const std::size_t k = 4;
+  const auto r = kmeans(pts, k, rng);
+  std::set<std::uint32_t> used;
+  for (auto label : r.label) {
+    ASSERT_LT(label, k);
+    used.insert(label);
+  }
+  EXPECT_EQ(used.size(), k);
+}
+
+TEST(KMeans, InertiaDecreasesWithMoreClusters) {
+  Rng rng(5);
+  const auto pts = geom::uniform_field(300, 100.0, 100.0, rng);
+  Rng r1(10), r2(10);
+  const auto with2 = kmeans(pts, 2, r1);
+  const auto with8 = kmeans(pts, 8, r2);
+  EXPECT_LT(with8.inertia, with2.inertia);
+}
+
+TEST(KMeans, AllPointsCoincident) {
+  Rng rng(6);
+  const std::vector<geom::Point> pts(10, geom::Point{5.0, 5.0});
+  const auto r = kmeans(pts, 3, rng);
+  EXPECT_EQ(r.label.size(), 10u);
+  EXPECT_NEAR(r.inertia, 0.0, 1e-18);
+}
+
+TEST(KMeans, DeterministicGivenSeed) {
+  const auto pts = [] {
+    Rng rng(7);
+    return geom::uniform_field(100, 50.0, 50.0, rng);
+  }();
+  Rng a(42), b(42);
+  const auto ra = kmeans(pts, 3, a);
+  const auto rb = kmeans(pts, 3, b);
+  EXPECT_EQ(ra.label, rb.label);
+  EXPECT_DOUBLE_EQ(ra.inertia, rb.inertia);
+}
+
+}  // namespace
+}  // namespace mcharge::cluster

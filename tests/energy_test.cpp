@@ -1,0 +1,255 @@
+// Tests for the energy module: battery, radio model, routing tree,
+// consumption rates.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "energy/battery.h"
+#include "energy/consumption.h"
+#include "energy/radio.h"
+#include "energy/routing.h"
+#include "geometry/field.h"
+#include "util/rng.h"
+
+namespace mcharge::energy {
+namespace {
+
+// ---------- Battery ----------
+
+TEST(Battery, InitialStateClamped) {
+  Battery b(100.0, 150.0);
+  EXPECT_DOUBLE_EQ(b.level(), 100.0);
+  EXPECT_TRUE(b.full());
+  Battery c(100.0, -5.0);
+  EXPECT_DOUBLE_EQ(c.level(), 0.0);
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(Battery, DrainSaturatesAtZero) {
+  Battery b(100.0, 30.0);
+  EXPECT_DOUBLE_EQ(b.drain(20.0), 20.0);
+  EXPECT_DOUBLE_EQ(b.level(), 10.0);
+  EXPECT_DOUBLE_EQ(b.drain(50.0), 10.0);
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(Battery, ChargeSaturatesAtCapacity) {
+  Battery b(100.0, 90.0);
+  EXPECT_DOUBLE_EQ(b.charge(5.0), 5.0);
+  EXPECT_DOUBLE_EQ(b.charge(50.0), 5.0);
+  EXPECT_TRUE(b.full());
+  EXPECT_DOUBLE_EQ(b.deficit(), 0.0);
+}
+
+TEST(Battery, FractionAndDeficit) {
+  Battery b(200.0, 50.0);
+  EXPECT_DOUBLE_EQ(b.fraction(), 0.25);
+  EXPECT_DOUBLE_EQ(b.deficit(), 150.0);
+}
+
+TEST(Battery, ZeroCapacity) {
+  Battery b(0.0, 0.0);
+  EXPECT_TRUE(b.empty());
+  EXPECT_TRUE(b.full());
+  EXPECT_DOUBLE_EQ(b.fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(b.charge(10.0), 0.0);
+}
+
+// ---------- Radio ----------
+
+TEST(Radio, PerBitEnergies) {
+  RadioParams r;
+  EXPECT_DOUBLE_EQ(r.tx_per_bit(0.0), r.e_elec);
+  EXPECT_DOUBLE_EQ(r.tx_per_bit(10.0), r.e_elec + r.e_amp * 100.0);
+  EXPECT_DOUBLE_EQ(r.rx_per_bit(), r.e_elec);
+  EXPECT_GT(r.tx_per_bit(20.0), r.tx_per_bit(10.0));
+}
+
+// ---------- Routing ----------
+
+TEST(Routing, SingleSensorDirect) {
+  RadioParams radio;
+  const auto tree =
+      build_routing_tree({{10.0, 0.0}}, {0.0, 0.0}, radio, {1000.0});
+  ASSERT_EQ(tree.parent.size(), 1u);
+  EXPECT_EQ(tree.parent[0], RoutingTree::kToBaseStation);
+  EXPECT_EQ(tree.hops[0], 1u);
+  EXPECT_DOUBLE_EQ(tree.link_length[0], 10.0);
+  EXPECT_DOUBLE_EQ(tree.relay_rate_bps[0], 0.0);
+}
+
+TEST(Routing, ChainRelaysAccumulate) {
+  RadioParams radio;
+  radio.comm_range = 12.0;
+  // Chain at x = 10, 20, 30; BS at origin. Only the first is within range
+  // of the BS; each next hops through the previous.
+  const std::vector<geom::Point> pts{{10, 0}, {20, 0}, {30, 0}};
+  const std::vector<double> rates{100.0, 200.0, 400.0};
+  const auto tree = build_routing_tree(pts, {0, 0}, radio, rates);
+  EXPECT_EQ(tree.parent[0], RoutingTree::kToBaseStation);
+  EXPECT_EQ(tree.parent[1], 0u);
+  EXPECT_EQ(tree.parent[2], 1u);
+  EXPECT_EQ(tree.hops[2], 3u);
+  EXPECT_DOUBLE_EQ(tree.relay_rate_bps[2], 0.0);
+  EXPECT_DOUBLE_EQ(tree.relay_rate_bps[1], 400.0);
+  EXPECT_DOUBLE_EQ(tree.relay_rate_bps[0], 600.0);
+  EXPECT_EQ(tree.direct_fallbacks, 0u);
+}
+
+TEST(Routing, DisconnectedFallsBackToDirectUplink) {
+  RadioParams radio;
+  radio.comm_range = 5.0;
+  const std::vector<geom::Point> pts{{3, 0}, {90, 90}};
+  const auto tree = build_routing_tree(pts, {0, 0}, radio, {1.0, 1.0});
+  EXPECT_EQ(tree.parent[1], RoutingTree::kToBaseStation);
+  EXPECT_EQ(tree.direct_fallbacks, 1u);
+  EXPECT_NEAR(tree.link_length[1], std::hypot(90.0, 90.0), 1e-9);
+}
+
+TEST(Routing, ConservationOfTraffic) {
+  // Sum of traffic entering the BS equals the sum of all data rates.
+  Rng rng(8);
+  RadioParams radio;
+  const auto pts = geom::uniform_field(300, 100.0, 100.0, rng);
+  std::vector<double> rates(pts.size());
+  for (auto& r : rates) r = rng.uniform(1e3, 50e3);
+  const auto tree = build_routing_tree(pts, {50, 50}, radio, rates);
+  double into_bs = 0.0;
+  double total = 0.0;
+  for (std::size_t v = 0; v < pts.size(); ++v) {
+    total += rates[v];
+    if (tree.parent[v] == RoutingTree::kToBaseStation) {
+      into_bs += rates[v] + tree.relay_rate_bps[v];
+    }
+  }
+  EXPECT_NEAR(into_bs, total, total * 1e-12);
+}
+
+TEST(Routing, HopsMonotoneAlongParents) {
+  Rng rng(9);
+  RadioParams radio;
+  const auto pts = geom::uniform_field(200, 100.0, 100.0, rng);
+  std::vector<double> rates(pts.size(), 1000.0);
+  const auto tree = build_routing_tree(pts, {50, 50}, radio, rates);
+  for (std::size_t v = 0; v < pts.size(); ++v) {
+    if (tree.parent[v] != RoutingTree::kToBaseStation) {
+      EXPECT_EQ(tree.hops[v], tree.hops[tree.parent[v]] + 1);
+      EXPECT_LE(tree.link_length[v], radio.comm_range + 1e-9);
+    }
+  }
+}
+
+// ---------- RoutingPolicy::kMinEnergy ----------
+
+TEST(MinEnergyRouting, PrefersShortLinksOverLongHop) {
+  RadioParams radio;
+  radio.comm_range = 50.0;
+  radio.e_amp = 1e-9;  // amplifier dominates: long links very expensive
+  // Sensor 1 at x=40 can reach the BS directly (40 m) or hop through
+  // sensor 0 at x=20 (two 20 m links). With quadratic amplifier cost the
+  // two-hop route is cheaper per bit.
+  const std::vector<geom::Point> pts{{20, 0}, {40, 0}};
+  const std::vector<double> rates{1000.0, 1000.0};
+  const auto hop = build_routing_tree(pts, {0, 0}, radio, rates,
+                                      RoutingPolicy::kMinHop);
+  const auto energy = build_routing_tree(pts, {0, 0}, radio, rates,
+                                         RoutingPolicy::kMinEnergy);
+  EXPECT_EQ(hop.parent[1], RoutingTree::kToBaseStation);  // 1 hop direct
+  EXPECT_EQ(energy.parent[1], 0u);                        // relays via 0
+  EXPECT_EQ(energy.hops[1], 2u);
+}
+
+TEST(MinEnergyRouting, ConservationStillHolds) {
+  Rng rng(20);
+  RadioParams radio;
+  const auto pts = geom::uniform_field(250, 100.0, 100.0, rng);
+  std::vector<double> rates(pts.size());
+  for (auto& r : rates) r = rng.uniform(1e3, 50e3);
+  const auto tree = build_routing_tree(pts, {50, 50}, radio, rates,
+                                       RoutingPolicy::kMinEnergy);
+  double into_bs = 0.0, total = 0.0;
+  for (std::size_t v = 0; v < pts.size(); ++v) {
+    total += rates[v];
+    if (tree.parent[v] == RoutingTree::kToBaseStation) {
+      into_bs += rates[v] + tree.relay_rate_bps[v];
+    }
+  }
+  EXPECT_NEAR(into_bs, total, total * 1e-12);
+  // Parent links never exceed the radio range (except fallbacks).
+  for (std::size_t v = 0; v < pts.size(); ++v) {
+    if (tree.parent[v] != RoutingTree::kToBaseStation) {
+      EXPECT_LE(tree.link_length[v], radio.comm_range + 1e-9);
+    }
+  }
+}
+
+TEST(MinEnergyRouting, SpreadsHotspotLoad) {
+  // The min-energy tree should not concentrate more load on its hottest
+  // relay than min-hop does (it has no reason to use fewer relays).
+  Rng rng(21);
+  RadioParams radio;
+  const auto pts = geom::uniform_field(600, 100.0, 100.0, rng);
+  std::vector<double> rates(pts.size(), 10e3);
+  const auto hop = build_routing_tree(pts, {50, 50}, radio, rates,
+                                      RoutingPolicy::kMinHop);
+  const auto energy = build_routing_tree(pts, {50, 50}, radio, rates,
+                                         RoutingPolicy::kMinEnergy);
+  const auto hottest = [](const RoutingTree& t) {
+    double mx = 0.0;
+    for (double r : t.relay_rate_bps) mx = std::max(mx, r);
+    return mx;
+  };
+  EXPECT_LE(hottest(energy), hottest(hop) * 1.5);
+}
+
+// ---------- Consumption ----------
+
+TEST(Consumption, LeafFormulaExact) {
+  RadioParams radio;
+  const std::vector<geom::Point> pts{{10.0, 0.0}};
+  const std::vector<double> rates{1000.0};
+  const auto watts = consumption_watts(pts, {0, 0}, radio, rates);
+  const double expected = radio.idle_watts + radio.sense_per_bit() * 1000.0 +
+                          radio.tx_per_bit(10.0) * 1000.0;
+  ASSERT_EQ(watts.size(), 1u);
+  EXPECT_NEAR(watts[0], expected, 1e-15);
+}
+
+TEST(Consumption, RelayNodesDrawMore) {
+  RadioParams radio;
+  radio.comm_range = 12.0;
+  const std::vector<geom::Point> pts{{10, 0}, {20, 0}, {30, 0}};
+  const std::vector<double> rates{1000.0, 1000.0, 1000.0};
+  const auto watts = consumption_watts(pts, {0, 0}, radio, rates);
+  // Node 0 relays two nodes' traffic, node 1 one, node 2 none.
+  EXPECT_GT(watts[0], watts[1]);
+  EXPECT_GT(watts[1], watts[2]);
+}
+
+TEST(Consumption, MagnitudesAreRealistic) {
+  // With the paper's parameters the depletion time from full (10.8 kJ) to
+  // the 20% threshold should be days-to-months, giving plausible request
+  // cadences over a one-year horizon.
+  Rng rng(12);
+  RadioParams radio;
+  const auto pts = geom::uniform_field(1000, 100.0, 100.0, rng);
+  std::vector<double> rates(pts.size());
+  for (auto& r : rates) r = rng.uniform(1e3, 50e3);
+  const auto watts = consumption_watts(pts, {50, 50}, radio, rates);
+  const double usable = 0.8 * 10.8e3;
+  double min_days = 1e18, max_days = 0.0;
+  for (double w : watts) {
+    ASSERT_GT(w, 0.0);
+    const double days = usable / w / 86400.0;
+    min_days = std::min(min_days, days);
+    max_days = std::max(max_days, days);
+  }
+  EXPECT_GT(min_days, 0.3);    // nothing dies within an hour
+  EXPECT_LT(min_days, 30.0);   // hot sensors do need charging within a month
+  EXPECT_GT(max_days, 10.0);
+}
+
+}  // namespace
+}  // namespace mcharge::energy

@@ -1,0 +1,186 @@
+// Tests for the exact tiny-instance solver and the delay lower bounds,
+// including the empirical-approximation-ratio property for Appro.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/appro.h"
+#include "core/bounds.h"
+#include "core/exact.h"
+#include "schedule/execute.h"
+#include "schedule/verify.h"
+#include "util/rng.h"
+
+namespace mcharge::core {
+namespace {
+
+using model::ChargingProblem;
+
+ChargingProblem tiny_problem(std::size_t n, std::size_t k, Rng& rng,
+                             double field = 40.0) {
+  std::vector<geom::Point> pts;
+  std::vector<double> deficits;
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(0.0, field), rng.uniform(0.0, field)});
+    deficits.push_back(rng.uniform(50.0, 400.0));
+  }
+  return ChargingProblem(std::move(pts), std::move(deficits),
+                         {field / 2, field / 2}, 2.7, 1.0, k);
+}
+
+// ---------- exact solver ----------
+
+TEST(Exact, EmptyProblem) {
+  ChargingProblem p({}, {}, {0, 0}, 2.7, 1.0, 2);
+  const auto result = exact_min_longest_delay(p);
+  EXPECT_DOUBLE_EQ(result.longest_delay, 0.0);
+}
+
+TEST(Exact, SingleSensorIsOutAndBack) {
+  ChargingProblem p({{3.0, 4.0}}, {100.0}, {0, 0}, 2.7, 1.0, 2);
+  const auto result = exact_min_longest_delay(p);
+  EXPECT_NEAR(result.longest_delay, 5.0 + 100.0 + 5.0, 1e-9);
+}
+
+TEST(Exact, TwoFarSensorsSplitAcrossChargers) {
+  // Two sensors symmetric about the depot: with K=2 each MCV takes one.
+  ChargingProblem p({{10, 0}, {-10, 0}}, {100.0, 100.0}, {0, 0}, 2.7, 1.0,
+                    2);
+  const auto result = exact_min_longest_delay(p);
+  EXPECT_NEAR(result.longest_delay, 10 + 100 + 10, 1e-9);
+  // With K=1 they must be chained.
+  ChargingProblem p1({{10, 0}, {-10, 0}}, {100.0, 100.0}, {0, 0}, 2.7, 1.0,
+                     1);
+  const auto r1 = exact_min_longest_delay(p1);
+  EXPECT_NEAR(r1.longest_delay, 10 + 100 + 20 + 100 + 10, 1e-9);
+}
+
+TEST(Exact, ExploitsMultiNodeCoverage) {
+  // Three sensors in one disk around the middle one: a single stop at the
+  // middle charges all three in max(t) time.
+  ChargingProblem p({{10, 0}, {12, 0}, {14, 0}}, {100.0, 50.0, 200.0},
+                    {0, 0}, 2.7, 1.0, 1);
+  const auto result = exact_min_longest_delay(p);
+  EXPECT_NEAR(result.longest_delay, 12 + 200 + 12, 1e-9);
+  ASSERT_EQ(result.plan.total_stops(), 1u);
+}
+
+TEST(Exact, RedundantStopCanHelp) {
+  // Stop A covers {0,1}; a second MCV stopping at 1 directly can take the
+  // slow sensor 1, leaving A with only the fast sensor 0. The exact value
+  // must be strictly below the single-stop plan's delay.
+  //
+  // Geometry: sensors at x=10 and x=12 (within one disk), deficits 10 and
+  // 1000. Single stop at either location: ~ 10..12 travel + 1000.
+  // Two MCVs cannot charge them simultaneously (shared disk) — but MCV2
+  // can wait... with waiting, still serialized: 1010 + travel. So the
+  // optimum is the single-stop (or serialized) plan; this documents that
+  // the solver handles overlapping stops without crashing and returns the
+  // serialized optimum.
+  ChargingProblem p({{10, 0}, {12, 0}}, {10.0, 1000.0}, {0, 0}, 2.7, 1.0, 2);
+  const auto result = exact_min_longest_delay(p);
+  const auto schedule = sched::execute_plan(p, result.plan);
+  EXPECT_TRUE(schedule.all_charged());
+  EXPECT_TRUE(sched::verify_schedule(p, schedule).empty());
+  EXPECT_LE(result.longest_delay, 12 + 1000 + 12 + 1e-9);
+}
+
+class ExactNeverWorseThanAppro : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExactNeverWorseThanAppro, OnTinyInstances) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7681 + 5);
+  const std::size_t n = 2 + rng.below(4);  // 2..5
+  const std::size_t k = 1 + rng.below(2);  // 1..2
+  const auto p = tiny_problem(n, k, rng);
+  const auto exact = exact_min_longest_delay(p);
+  ApproScheduler appro;
+  const auto schedule = sched::execute_plan(p, appro.plan(p));
+  EXPECT_TRUE(schedule.all_charged());
+  EXPECT_LE(exact.longest_delay, schedule.longest_delay() + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactNeverWorseThanAppro,
+                         ::testing::Range(0, 12));
+
+class EmpiricalApproxRatio : public ::testing::TestWithParam<int> {};
+
+TEST_P(EmpiricalApproxRatio, ApproWithinFiveOfOptimal) {
+  // The proven ratio is 40*pi*(tau_max/tau_min)+1; empirically Appro sits
+  // far below it. Assert a generous 5x on tiny instances.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 12289 + 11);
+  const std::size_t n = 3 + rng.below(3);  // 3..5
+  const auto p = tiny_problem(n, 2, rng);
+  const auto exact = exact_min_longest_delay(p);
+  ApproScheduler appro;
+  const double appro_delay =
+      sched::execute_plan(p, appro.plan(p)).longest_delay();
+  EXPECT_LE(appro_delay, 5.0 * exact.longest_delay + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EmpiricalApproxRatio, ::testing::Range(0, 12));
+
+// ---------- lower bounds ----------
+
+TEST(Bounds, EmptyProblemIsZero) {
+  ChargingProblem p({}, {}, {0, 0}, 2.7, 1.0, 2);
+  EXPECT_DOUBLE_EQ(delay_lower_bound(p), 0.0);
+}
+
+TEST(Bounds, SingleSensorBoundIsTight) {
+  ChargingProblem p({{30.0, 0.0}}, {500.0}, {0, 0}, 2.7, 1.0, 1);
+  const auto bounds = delay_lower_bounds(p);
+  // 2 * (30 - 2.7) + 500; the optimum is 2*30 + 500 (stops co-located
+  // with sensors), so the bound must not exceed it.
+  EXPECT_NEAR(bounds.hardest_sensor, 2.0 * 27.3 + 500.0, 1e-9);
+  const auto exact = exact_min_longest_delay(p);
+  EXPECT_LE(bounds.best(), exact.longest_delay + 1e-9);
+}
+
+class BoundsBelowExact : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoundsBelowExact, OnTinyInstances) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 24593 + 3);
+  const std::size_t n = 2 + rng.below(4);
+  const std::size_t k = 1 + rng.below(3);
+  const auto p = tiny_problem(n, k, rng);
+  const auto exact = exact_min_longest_delay(p);
+  EXPECT_LE(delay_lower_bound(p), exact.longest_delay + 1e-6)
+      << "n=" << n << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundsBelowExact, ::testing::Range(0, 16));
+
+TEST(Bounds, ChargingVolumeScalesWithK) {
+  Rng rng(9);
+  const auto p2 = tiny_problem(6, 2, rng);
+  ChargingProblem p4(std::vector<geom::Point>(p2.positions()),
+                     std::vector<double>(p2.charge_seconds()), p2.depot(),
+                     p2.gamma(), p2.speed(), 4);
+  const auto b2 = delay_lower_bounds(p2);
+  const auto b4 = delay_lower_bounds(p4);
+  EXPECT_NEAR(b4.charging_volume, b2.charging_volume / 2.0, 1e-9);
+  EXPECT_LE(b4.best(), b2.best() + 1e-9);
+}
+
+TEST(Bounds, BelowApproOnRealScale) {
+  // On realistic instances the bound must sit below what Appro achieves
+  // (it is a lower bound on OPT <= Appro).
+  Rng rng(31);
+  std::vector<geom::Point> pts;
+  std::vector<double> deficits;
+  for (int i = 0; i < 300; ++i) {
+    pts.push_back({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)});
+    deficits.push_back(rng.uniform(3456.0, 5400.0));
+  }
+  ChargingProblem p(std::move(pts), std::move(deficits), {50, 50}, 2.7, 1.0,
+                    2);
+  ApproScheduler appro;
+  const double appro_delay =
+      sched::execute_plan(p, appro.plan(p)).longest_delay();
+  const double bound = delay_lower_bound(p);
+  EXPECT_GT(bound, 0.0);
+  EXPECT_LE(bound, appro_delay);
+}
+
+}  // namespace
+}  // namespace mcharge::core

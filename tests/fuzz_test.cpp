@@ -1,0 +1,199 @@
+// Stress / failure-injection suite: extreme and degenerate parameter
+// combinations through the full pipeline. Every case must either be
+// rejected by a documented precondition (not exercised here) or produce a
+// verifier-clean schedule.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "baselines/aa.h"
+#include "baselines/greedy_cover.h"
+#include "baselines/kedf.h"
+#include "baselines/kminmax.h"
+#include "baselines/netwrap.h"
+#include "core/appro.h"
+#include "schedule/execute.h"
+#include "schedule/verify.h"
+#include "sim/simulation.h"
+#include "util/rng.h"
+
+namespace mcharge {
+namespace {
+
+std::vector<const sched::Scheduler*> everyone(
+    const core::ApproScheduler& a, const baselines::KMinMaxScheduler& b,
+    const baselines::KEdfScheduler& c, const baselines::NetwrapScheduler& d,
+    const baselines::AaScheduler& e,
+    const baselines::GreedyCoverScheduler& f) {
+  return {&a, &b, &c, &d, &e, &f};
+}
+
+void expect_clean(const model::ChargingProblem& p, const char* label) {
+  const core::ApproScheduler appro;
+  const baselines::KMinMaxScheduler kminmax;
+  const baselines::KEdfScheduler kedf;
+  const baselines::NetwrapScheduler netwrap;
+  const baselines::AaScheduler aa;
+  const baselines::GreedyCoverScheduler cover;
+  for (const auto* algo : everyone(appro, kminmax, kedf, netwrap, aa, cover)) {
+    const auto schedule = sched::execute_plan(p, algo->plan(p));
+    sched::VerifyOptions opts;
+    opts.require_full_coverage = algo->name() != "AA";
+    const auto violations = sched::verify_schedule(p, schedule, opts);
+    EXPECT_TRUE(violations.empty())
+        << label << " / " << algo->name() << ": "
+        << (violations.empty() ? "" : violations[0]);
+  }
+}
+
+TEST(Fuzz, AllSensorsAtOnePoint) {
+  std::vector<geom::Point> pts(40, geom::Point{37.0, 81.0});
+  std::vector<double> t(40, 2000.0);
+  model::ChargingProblem p(std::move(pts), std::move(t), {50, 50}, 2.7, 1.0,
+                           3);
+  p.set_residual_lifetimes(std::vector<double>(40, 1e4));
+  expect_clean(p, "co-located");
+}
+
+TEST(Fuzz, ZeroChargingRadiusDegeneratesToOneToOneGeometry) {
+  Rng rng(1);
+  std::vector<geom::Point> pts;
+  std::vector<double> t;
+  for (int i = 0; i < 30; ++i) {
+    pts.push_back({rng.uniform(0.0, 50.0), rng.uniform(0.0, 50.0)});
+    t.push_back(rng.uniform(100.0, 500.0));
+  }
+  model::ChargingProblem p(std::move(pts), std::move(t), {25, 25}, 0.0, 1.0,
+                           2);
+  p.set_residual_lifetimes(std::vector<double>(30, 1e5));
+  expect_clean(p, "gamma=0");
+}
+
+TEST(Fuzz, HugeRadiusCoversWholeField) {
+  Rng rng(2);
+  std::vector<geom::Point> pts;
+  std::vector<double> t;
+  for (int i = 0; i < 50; ++i) {
+    pts.push_back({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)});
+    t.push_back(rng.uniform(100.0, 500.0));
+  }
+  model::ChargingProblem p(std::move(pts), std::move(t), {50, 50}, 500.0, 1.0,
+                           2);
+  p.set_residual_lifetimes(std::vector<double>(50, 1e5));
+  // One stop charges everything; with gamma covering the field every pair
+  // of stops conflicts, so multi-node plans must serialize.
+  const core::ApproScheduler appro;
+  const auto plan = appro.plan(p);
+  EXPECT_EQ(plan.total_stops(), 1u);
+  expect_clean(p, "gamma=field");
+}
+
+TEST(Fuzz, ZeroDeficits) {
+  Rng rng(3);
+  std::vector<geom::Point> pts;
+  for (int i = 0; i < 25; ++i) {
+    pts.push_back({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)});
+  }
+  model::ChargingProblem p(std::move(pts), std::vector<double>(25, 0.0),
+                           {50, 50}, 2.7, 1.0, 2);
+  p.set_residual_lifetimes(std::vector<double>(25, 1e5));
+  expect_clean(p, "zero-deficit");
+}
+
+TEST(Fuzz, ManyChargersFewSensors) {
+  model::ChargingProblem p({{10, 10}, {90, 90}}, {500.0, 500.0}, {50, 50},
+                           2.7, 1.0, 8);
+  p.set_residual_lifetimes({1e4, 1e4});
+  expect_clean(p, "K=8,n=2");
+}
+
+TEST(Fuzz, ExtremeSpeeds) {
+  Rng rng(4);
+  for (double speed : {1e-3, 1e3}) {
+    std::vector<geom::Point> pts;
+    std::vector<double> t;
+    for (int i = 0; i < 20; ++i) {
+      pts.push_back({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)});
+      t.push_back(rng.uniform(10.0, 100.0));
+    }
+    model::ChargingProblem p(std::move(pts), std::move(t), {50, 50}, 2.7,
+                             speed, 2);
+    p.set_residual_lifetimes(std::vector<double>(20, 1e9));
+    expect_clean(p, "extreme speed");
+  }
+}
+
+TEST(Fuzz, DepotFarOutsideField) {
+  Rng rng(5);
+  std::vector<geom::Point> pts;
+  std::vector<double> t;
+  for (int i = 0; i < 30; ++i) {
+    pts.push_back({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)});
+    t.push_back(rng.uniform(100.0, 1000.0));
+  }
+  model::ChargingProblem p(std::move(pts), std::move(t), {-500.0, 1200.0},
+                           2.7, 1.0, 3);
+  p.set_residual_lifetimes(std::vector<double>(30, 1e6));
+  expect_clean(p, "far depot");
+}
+
+TEST(Fuzz, WildDeficitSpread) {
+  // tau_max / tau_min enormous: stresses the insertion bookkeeping.
+  Rng rng(6);
+  std::vector<geom::Point> pts;
+  std::vector<double> t;
+  for (int i = 0; i < 60; ++i) {
+    pts.push_back({rng.uniform(0.0, 60.0), rng.uniform(0.0, 60.0)});
+    t.push_back(i % 2 == 0 ? 1e-3 : 1e5);
+  }
+  model::ChargingProblem p(std::move(pts), std::move(t), {30, 30}, 2.7, 1.0,
+                           2);
+  p.set_residual_lifetimes(std::vector<double>(60, 1e7));
+  expect_clean(p, "wild deficits");
+}
+
+TEST(Fuzz, RandomizedParameterSweep) {
+  for (int trial = 0; trial < 25; ++trial) {
+    Rng rng(1000 + static_cast<std::uint64_t>(trial) * 37);
+    const std::size_t n = 1 + rng.below(150);
+    const std::size_t k = 1 + rng.below(6);
+    const double gamma = rng.uniform(0.0, 20.0);
+    const double speed = rng.uniform(0.1, 10.0);
+    const double field = rng.uniform(10.0, 200.0);
+    std::vector<geom::Point> pts;
+    std::vector<double> t;
+    std::vector<double> life;
+    for (std::size_t i = 0; i < n; ++i) {
+      pts.push_back({rng.uniform(0.0, field), rng.uniform(0.0, field)});
+      t.push_back(rng.uniform(0.0, 5000.0));
+      life.push_back(rng.uniform(10.0, 1e6));
+    }
+    model::ChargingProblem p(std::move(pts), std::move(t),
+                             {rng.uniform(0.0, field), rng.uniform(0.0, field)},
+                             gamma, speed, k);
+    p.set_residual_lifetimes(std::move(life));
+    expect_clean(p, "random sweep");
+  }
+}
+
+TEST(Fuzz, SimulatorSurvivesHarshConfigs) {
+  core::ApproScheduler appro;
+  model::NetworkConfig config;
+  config.request_threshold = 0.5;  // half the fleet always hungry
+  config.num_chargers = 1;
+  Rng rng(7);
+  auto instance = model::make_instance(config, 60, rng);
+  for (auto& w : instance.consumption_w) w *= 10.0;  // very hot network
+  sim::SimConfig sc;
+  sc.monitoring_period_s = 60.0 * 86400.0;
+  const auto result = sim::simulate(instance, appro, sc);
+  EXPECT_EQ(result.verify_violations, 0u);
+  EXPECT_GT(result.rounds, 0u);
+  // Conservation: no sensor can be dead longer than the horizon.
+  for (double dead : result.dead_seconds_per_sensor) {
+    EXPECT_LE(dead, sc.monitoring_period_s + 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace mcharge

@@ -1,0 +1,374 @@
+// Unit and property tests for the graph module: adjacency graph, unit-disk
+// builder, MIS, DSU, MST, Euler circuits, traversal.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <numeric>
+
+#include "geometry/field.h"
+#include "graph/dsu.h"
+#include "graph/euler.h"
+#include "graph/graph.h"
+#include "graph/mis.h"
+#include "graph/mst.h"
+#include "graph/traversal.h"
+#include "graph/unit_disk.h"
+#include "util/rng.h"
+
+namespace mcharge::graph {
+namespace {
+
+TEST(Graph, AddAndQueryEdges) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 1);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(3), 0u);
+}
+
+TEST(Graph, DuplicateEdgesIgnored) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(0, 1);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(Graph, NeighborsSorted) {
+  Graph g(5);
+  g.add_edge(2, 4);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  const auto& nbrs = g.neighbors(2);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  EXPECT_EQ(nbrs.size(), 3u);
+}
+
+TEST(Graph, EdgesListLexicographic) {
+  Graph g(4);
+  g.add_edge(3, 1);
+  g.add_edge(0, 2);
+  const auto edges = g.edges();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0], (std::pair<Vertex, Vertex>{0, 2}));
+  EXPECT_EQ(edges[1], (std::pair<Vertex, Vertex>{1, 3}));
+}
+
+TEST(Graph, MaxDegree) {
+  Graph g(4);
+  EXPECT_EQ(g.max_degree(), 0u);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  EXPECT_EQ(g.max_degree(), 3u);
+}
+
+TEST(UnitDisk, MatchesBruteForce) {
+  Rng rng(10);
+  const auto pts = geom::uniform_field(150, 50.0, 50.0, rng);
+  const double radius = 4.0;
+  const Graph g = unit_disk_graph(pts, radius);
+  for (Vertex u = 0; u < pts.size(); ++u) {
+    for (Vertex v = u + 1; v < pts.size(); ++v) {
+      const bool expect = geom::within(pts[u], pts[v], radius);
+      EXPECT_EQ(g.has_edge(u, v), expect) << u << "," << v;
+    }
+  }
+}
+
+TEST(UnitDisk, ZeroRadiusOnlyCoincident) {
+  const std::vector<geom::Point> pts{{0, 0}, {0, 0}, {1, 0}};
+  // Coincident points would be self-distinct vertices at distance 0; the
+  // builder must connect them and nothing else.
+  const Graph g = unit_disk_graph(pts, 0.0);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+// ---------- MIS ----------
+
+class MisProperty
+    : public ::testing::TestWithParam<std::tuple<int, MisOrder>> {};
+
+TEST_P(MisProperty, IndependentAndMaximal) {
+  const auto [seed, order] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  const auto pts = geom::uniform_field(120, 40.0, 40.0, rng);
+  const Graph g = unit_disk_graph(pts, 3.0);
+  std::vector<double> priority(g.num_vertices());
+  for (auto& p : priority) p = rng.uniform();
+  const auto set = maximal_independent_set(g, order, &priority, &rng);
+  EXPECT_TRUE(is_independent_set(g, set));
+  EXPECT_TRUE(is_maximal_independent_set(g, set));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SweepOrders, MisProperty,
+    ::testing::Combine(::testing::Range(0, 5),
+                       ::testing::Values(MisOrder::kIndex, MisOrder::kMinDegree,
+                                         MisOrder::kMaxDegree,
+                                         MisOrder::kPriority,
+                                         MisOrder::kRandom)));
+
+TEST(Mis, EmptyGraph) {
+  Graph g(0);
+  EXPECT_TRUE(maximal_independent_set(g).empty());
+}
+
+TEST(Mis, NoEdgesTakesAll) {
+  Graph g(5);
+  const auto set = maximal_independent_set(g);
+  EXPECT_EQ(set.size(), 5u);
+}
+
+TEST(Mis, CompleteGraphTakesOne) {
+  Graph g(5);
+  for (Vertex u = 0; u < 5; ++u) {
+    for (Vertex v = u + 1; v < 5; ++v) g.add_edge(u, v);
+  }
+  EXPECT_EQ(maximal_independent_set(g).size(), 1u);
+}
+
+TEST(Mis, PriorityOrderPicksUrgentFirst) {
+  // Path 0-1-2: priority favors 1, so the MIS should be {1} rather than
+  // {0, 2}.
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  std::vector<double> priority{5.0, 1.0, 5.0};
+  const auto set =
+      maximal_independent_set(g, MisOrder::kPriority, &priority, nullptr);
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set[0], 1u);
+}
+
+TEST(Mis, IsIndependentRejectsAdjacentPair) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_FALSE(is_independent_set(g, {0, 1}));
+  EXPECT_TRUE(is_independent_set(g, {0, 2}));
+  // {0} is independent but not maximal (2 is undominated).
+  EXPECT_FALSE(is_maximal_independent_set(g, {0}));
+}
+
+// ---------- DSU ----------
+
+TEST(Dsu, UniteAndFind) {
+  Dsu dsu(5);
+  EXPECT_EQ(dsu.num_components(), 5u);
+  EXPECT_TRUE(dsu.unite(0, 1));
+  EXPECT_TRUE(dsu.unite(1, 2));
+  EXPECT_FALSE(dsu.unite(0, 2));
+  EXPECT_TRUE(dsu.same(0, 2));
+  EXPECT_FALSE(dsu.same(0, 3));
+  EXPECT_EQ(dsu.num_components(), 3u);
+  EXPECT_EQ(dsu.component_size(2), 3u);
+  EXPECT_EQ(dsu.component_size(4), 1u);
+}
+
+// ---------- MST ----------
+
+TEST(Mst, PrimOnSquare) {
+  const std::vector<geom::Point> pts{{0, 0}, {1, 0}, {0, 1}, {1, 1}};
+  const auto tree = euclidean_mst(pts);
+  EXPECT_EQ(tree.size(), 3u);
+  EXPECT_DOUBLE_EQ(total_weight(tree), 3.0);
+}
+
+TEST(Mst, PrimMatchesKruskalWeight) {
+  Rng rng(77);
+  const auto pts = geom::uniform_field(60, 100.0, 100.0, rng);
+  const auto prim = euclidean_mst(pts);
+  std::vector<WeightedEdge> edges;
+  for (std::uint32_t u = 0; u < pts.size(); ++u) {
+    for (std::uint32_t v = u + 1; v < pts.size(); ++v) {
+      edges.push_back({u, v, geom::distance(pts[u], pts[v])});
+    }
+  }
+  const auto kruskal = kruskal_mst(pts.size(), edges);
+  EXPECT_EQ(prim.size(), kruskal.size());
+  EXPECT_NEAR(total_weight(prim), total_weight(kruskal), 1e-9);
+}
+
+TEST(Mst, TrivialSizes) {
+  EXPECT_TRUE(euclidean_mst({}).empty());
+  EXPECT_TRUE(euclidean_mst({{1, 1}}).empty());
+  const auto one = euclidean_mst({{0, 0}, {3, 4}});
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_DOUBLE_EQ(one[0].weight, 5.0);
+}
+
+TEST(Mst, KruskalDisconnectedIsForest) {
+  std::vector<WeightedEdge> edges{{0, 1, 1.0}, {2, 3, 2.0}};
+  const auto forest = kruskal_mst(4, edges);
+  EXPECT_EQ(forest.size(), 2u);
+}
+
+// ---------- Euler ----------
+
+TEST(Euler, SimpleCycle) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges{
+      {0, 1}, {1, 2}, {2, 0}};
+  const auto walk = eulerian_circuit(3, edges, 0);
+  ASSERT_EQ(walk.size(), 4u);
+  EXPECT_EQ(walk.front(), 0u);
+  EXPECT_EQ(walk.back(), 0u);
+}
+
+TEST(Euler, UsesEveryEdgeOnce) {
+  // Doubled MST-style multigraph on 5 vertices.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  const std::vector<std::pair<std::uint32_t, std::uint32_t>> tree{
+      {0, 1}, {1, 2}, {1, 3}, {3, 4}};
+  for (auto e : tree) {
+    edges.push_back(e);
+    edges.push_back(e);
+  }
+  const auto walk = eulerian_circuit(5, edges, 0);
+  EXPECT_EQ(walk.size(), edges.size() + 1);
+  // Count undirected edge usages.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, int> used;
+  for (std::size_t i = 0; i + 1 < walk.size(); ++i) {
+    auto key = std::minmax(walk[i], walk[i + 1]);
+    ++used[{key.first, key.second}];
+  }
+  for (auto e : tree) {
+    EXPECT_EQ((used[{std::min(e.first, e.second),
+                     std::max(e.first, e.second)}]),
+              2);
+  }
+}
+
+TEST(Euler, EmptyEdgeSet) {
+  const auto walk = eulerian_circuit(3, {}, 1);
+  ASSERT_EQ(walk.size(), 1u);
+  EXPECT_EQ(walk[0], 1u);
+}
+
+TEST(Euler, AllDegreesEvenPredicate) {
+  EXPECT_TRUE(all_degrees_even(3, {{0, 1}, {1, 2}, {2, 0}}));
+  EXPECT_FALSE(all_degrees_even(3, {{0, 1}}));
+  EXPECT_TRUE(all_degrees_even(2, {{0, 1}, {0, 1}}));
+}
+
+class MstProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MstProperty, TreeIsSpanningAcyclicAndNoWorseThanRandomTrees) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 733 + 41);
+  const std::size_t n = 2 + rng.below(40);
+  const auto pts = geom::uniform_field(n, 100.0, 100.0, rng);
+  const auto tree = euclidean_mst(pts);
+  ASSERT_EQ(tree.size(), n - 1);
+  // Spanning and acyclic via DSU.
+  Dsu dsu(n);
+  for (const auto& e : tree) {
+    EXPECT_TRUE(dsu.unite(e.u, e.v)) << "cycle in MST";
+  }
+  EXPECT_EQ(dsu.num_components(), 1u);
+  // Weight no worse than a few random spanning trees (random permutation
+  // chains).
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<std::uint32_t> order(n);
+    std::iota(order.begin(), order.end(), 0u);
+    rng.shuffle(order);
+    double chain = 0.0;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      chain += geom::distance(pts[order[i]], pts[order[i + 1]]);
+    }
+    EXPECT_LE(total_weight(tree), chain + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MstProperty, ::testing::Range(0, 8));
+
+class EulerProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(EulerProperty, DoubledRandomTreeAlwaysHasCircuit) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 911 + 3);
+  const std::size_t n = 2 + rng.below(60);
+  // Random tree: attach each vertex to a random earlier one; double edges.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::uint32_t v = 1; v < n; ++v) {
+    const auto p = static_cast<std::uint32_t>(rng.below(v));
+    edges.emplace_back(p, v);
+    edges.emplace_back(p, v);
+  }
+  const auto start = static_cast<std::uint32_t>(rng.below(n));
+  const auto walk = eulerian_circuit(n, edges, start);
+  ASSERT_EQ(walk.size(), edges.size() + 1);
+  EXPECT_EQ(walk.front(), start);
+  EXPECT_EQ(walk.back(), start);
+  // Every consecutive pair must be one of the multigraph's edges.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, int> remaining;
+  for (auto [a, b] : edges) {
+    ++remaining[{std::min(a, b), std::max(a, b)}];
+  }
+  for (std::size_t i = 0; i + 1 < walk.size(); ++i) {
+    auto key = std::minmax(walk[i], walk[i + 1]);
+    auto it = remaining.find({key.first, key.second});
+    ASSERT_NE(it, remaining.end());
+    if (--it->second == 0) remaining.erase(it);
+  }
+  EXPECT_TRUE(remaining.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EulerProperty, ::testing::Range(0, 8));
+
+TEST(Mis, RandomGraphsNotJustGeometric) {
+  // Erdos-Renyi-ish graphs exercise MIS away from unit-disk structure.
+  for (int trial = 0; trial < 10; ++trial) {
+    Rng rng(6000 + static_cast<std::uint64_t>(trial));
+    const std::size_t n = 5 + rng.below(80);
+    Graph g(n);
+    for (Vertex u = 0; u < n; ++u) {
+      for (Vertex v = u + 1; v < n; ++v) {
+        if (rng.uniform() < 0.15) g.add_edge(u, v);
+      }
+    }
+    for (auto order : {MisOrder::kIndex, MisOrder::kMinDegree}) {
+      const auto set = maximal_independent_set(g, order);
+      EXPECT_TRUE(is_maximal_independent_set(g, set));
+    }
+  }
+}
+
+// ---------- Traversal ----------
+
+TEST(Traversal, ComponentsOfDisjointPaths) {
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  const auto comps = connected_components(g);
+  EXPECT_EQ(comps.count, 3u);
+  EXPECT_EQ(comps.id[0], comps.id[2]);
+  EXPECT_EQ(comps.id[3], comps.id[4]);
+  EXPECT_NE(comps.id[0], comps.id[3]);
+  EXPECT_NE(comps.id[5], comps.id[0]);
+}
+
+TEST(Traversal, BfsTreeHops) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const auto tree = bfs_tree(g, 0);
+  EXPECT_EQ(tree.hops[0], 0u);
+  EXPECT_EQ(tree.hops[3], 3u);
+  EXPECT_EQ(tree.parent[3], 2u);
+  EXPECT_EQ(tree.parent[0], 0u);
+  // Vertex 4 unreachable.
+  EXPECT_EQ(tree.hops[4], std::numeric_limits<std::uint32_t>::max());
+  EXPECT_EQ(tree.parent[4], 4u);
+}
+
+}  // namespace
+}  // namespace mcharge::graph

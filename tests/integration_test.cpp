@@ -1,0 +1,146 @@
+// End-to-end integration tests: all five algorithms through the full
+// pipeline (instance -> rounds -> plans -> execution -> metrics), plus the
+// headline comparative claims of the paper at reduced scale.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "baselines/aa.h"
+#include "baselines/kedf.h"
+#include "baselines/kminmax.h"
+#include "baselines/netwrap.h"
+#include "core/appro.h"
+#include "sim/simulation.h"
+#include "util/rng.h"
+
+namespace mcharge {
+namespace {
+
+/// Scales every sensor's draw, moving the network into the saturated load
+/// regime the paper evaluates at n >= ~1000 without paying n >= 1000 test
+/// runtimes: what separates the algorithms is the ratio of request arrival
+/// rate to fleet charging throughput, not n itself.
+model::WrsnInstance heat(model::WrsnInstance instance, double factor) {
+  for (auto& w : instance.consumption_w) w *= factor;
+  return instance;
+}
+
+std::vector<sched::SchedulerPtr> all_schedulers() {
+  std::vector<sched::SchedulerPtr> out;
+  out.push_back(std::make_unique<core::ApproScheduler>());
+  out.push_back(std::make_unique<baselines::KEdfScheduler>());
+  out.push_back(std::make_unique<baselines::NetwrapScheduler>());
+  out.push_back(std::make_unique<baselines::AaScheduler>());
+  out.push_back(std::make_unique<baselines::KMinMaxScheduler>());
+  return out;
+}
+
+TEST(Integration, AllAlgorithmsSurviveAYear) {
+  model::NetworkConfig config;
+  Rng rng(100);
+  const auto instance = model::make_instance(config, 120, rng);
+  for (const auto& scheduler : all_schedulers()) {
+    const auto result = sim::simulate(instance, *scheduler);
+    EXPECT_GT(result.rounds, 0u) << scheduler->name();
+    EXPECT_EQ(result.verify_violations, 0u) << scheduler->name();
+    EXPECT_GT(result.sensors_charged, 0u) << scheduler->name();
+  }
+}
+
+TEST(Integration, ApproBeatsOneToOneBaselinesOnTourDuration) {
+  // The paper's headline (Fig. 3(a)): under load, Appro's longest tour
+  // duration is far below every one-to-one baseline.
+  model::NetworkConfig config;
+  Rng rng(101);
+  const auto instance = heat(model::make_instance(config, 300, rng), 4.0);
+
+  core::ApproScheduler appro;
+  const double appro_delay =
+      sim::simulate(instance, appro).round_longest_delay_s.mean();
+  for (const auto& scheduler : all_schedulers()) {
+    if (scheduler->name() == "Appro") continue;
+    const double other =
+        sim::simulate(instance, *scheduler).round_longest_delay_s.mean();
+    EXPECT_LT(appro_delay, other) << "vs " << scheduler->name();
+  }
+}
+
+TEST(Integration, ApproDeadTimeNoWorseThanBaselines) {
+  model::NetworkConfig config;
+  Rng rng(102);
+  const auto instance = heat(model::make_instance(config, 300, rng), 4.0);
+  core::ApproScheduler appro;
+  const double appro_dead =
+      sim::simulate(instance, appro).total_dead_seconds;
+  for (const auto& scheduler : all_schedulers()) {
+    if (scheduler->name() == "Appro") continue;
+    const double other = sim::simulate(instance, *scheduler).total_dead_seconds;
+    EXPECT_LE(appro_dead, other * 1.05 + 60.0) << "vs " << scheduler->name();
+  }
+}
+
+TEST(Integration, MoreChargersReduceApproDelay) {
+  // Fig. 5(a)'s shape: delay drops sharply from K=1 to K=2.
+  model::NetworkConfig config;
+  Rng rng(103);
+  config.num_chargers = 1;
+  const auto base = heat(model::make_instance(config, 300, rng), 4.0);
+  core::ApproScheduler appro;
+  const double k1 = sim::simulate(base, appro).round_longest_delay_s.mean();
+  auto instance2 = base;
+  instance2.config.num_chargers = 2;
+  const double k2 =
+      sim::simulate(instance2, appro).round_longest_delay_s.mean();
+  EXPECT_LT(k2, k1);
+}
+
+TEST(Integration, HigherDataRateIncreasesLoad) {
+  // Fig. 4's shape: larger b_max -> more to-be-charged sensors -> longer
+  // tours (for the same algorithm).
+  model::NetworkConfig low, high;
+  low.rate_max_bps = 10e3;
+  high.rate_max_bps = 50e3;
+  Rng rng_low(104), rng_high(104);
+  const auto slow = model::make_instance(low, 120, rng_low);
+  const auto fast = model::make_instance(high, 120, rng_high);
+  core::ApproScheduler appro;
+  const auto slow_result = sim::simulate(slow, appro);
+  const auto fast_result = sim::simulate(fast, appro);
+  EXPECT_GT(fast_result.sensors_charged, slow_result.sensors_charged);
+}
+
+TEST(Integration, ClusteredFieldAlsoFeasible) {
+  model::NetworkConfig config;
+  Rng rng(105);
+  const auto instance =
+      model::make_instance(config, 150, rng, model::FieldLayout::kClustered);
+  for (const auto& scheduler : all_schedulers()) {
+    const auto result = sim::simulate(instance, *scheduler);
+    EXPECT_EQ(result.verify_violations, 0u) << scheduler->name();
+  }
+}
+
+TEST(Integration, GridFieldAlsoFeasible) {
+  model::NetworkConfig config;
+  Rng rng(106);
+  const auto instance =
+      model::make_instance(config, 100, rng, model::FieldLayout::kGrid);
+  core::ApproScheduler appro;
+  const auto result = sim::simulate(instance, appro);
+  EXPECT_EQ(result.verify_violations, 0u);
+}
+
+TEST(Integration, DepotOffCenterStillWorks) {
+  model::NetworkConfig config;
+  config.depot = {0.0, 0.0};  // corner depot, BS still center
+  Rng rng(107);
+  const auto instance = model::make_instance(config, 100, rng);
+  for (const auto& scheduler : all_schedulers()) {
+    const auto result = sim::simulate(instance, *scheduler);
+    EXPECT_EQ(result.verify_violations, 0u) << scheduler->name();
+  }
+}
+
+}  // namespace
+}  // namespace mcharge

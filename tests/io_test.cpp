@@ -1,0 +1,195 @@
+// Tests for the io module: instance/round CSV round-trips, schedule export,
+// timeline rendering, and malformed-input handling.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/appro.h"
+#include "io/instance_io.h"
+#include "io/schedule_io.h"
+#include "model/network.h"
+#include "schedule/execute.h"
+#include "util/rng.h"
+
+namespace mcharge::io {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void write_text(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  out << text;
+}
+
+TEST(InstanceIo, RoundTripPreservesEverything) {
+  model::NetworkConfig config;
+  config.num_chargers = 3;
+  config.depot = {10.0, 20.0};
+  Rng rng(1);
+  const auto original = model::make_instance(config, 50, rng);
+  const std::string path = temp_path("instance.csv");
+  ASSERT_TRUE(write_instance_csv(path, original));
+
+  std::string error;
+  const auto loaded = read_instance_csv(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->num_sensors(), 50u);
+  EXPECT_EQ(loaded->config.num_chargers, 3u);
+  EXPECT_DOUBLE_EQ(loaded->config.depot.x, 10.0);
+  EXPECT_DOUBLE_EQ(loaded->config.depot.y, 20.0);
+  for (std::size_t v = 0; v < 50; ++v) {
+    EXPECT_NEAR(loaded->positions[v].x, original.positions[v].x, 1e-4);
+    EXPECT_NEAR(loaded->rate_bps[v], original.rate_bps[v], 1e-2);
+    EXPECT_NEAR(loaded->consumption_w[v], original.consumption_w[v], 1e-6);
+  }
+}
+
+TEST(InstanceIo, MissingFileFails) {
+  std::string error;
+  EXPECT_FALSE(read_instance_csv("/nonexistent/nowhere.csv", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(InstanceIo, MissingConfigRejected) {
+  const std::string path = temp_path("noconfig.csv");
+  write_text(path, "sensor,1,2,1000,0.001\n");
+  std::string error;
+  EXPECT_FALSE(read_instance_csv(path, &error));
+  EXPECT_NE(error.find("config"), std::string::npos);
+}
+
+TEST(InstanceIo, GarbageRejectedWithLineNumber) {
+  const std::string path = temp_path("garbage.csv");
+  write_text(path,
+             "config,100,100,50,50,50,50,10800,2.7,2,1,2,0.2\n"
+             "sensor,1,2,abc,0.001\n");
+  std::string error;
+  EXPECT_FALSE(read_instance_csv(path, &error));
+  EXPECT_NE(error.find("2"), std::string::npos);
+}
+
+TEST(RoundIo, RoundTripWithLifetimes) {
+  RoundData round;
+  round.positions = {{1, 2}, {3, 4}};
+  round.deficit_joules = {8640.0, 5000.0};
+  round.residual_lifetime_s = {1000.0, 2000.0};
+  const std::string path = temp_path("round.csv");
+  ASSERT_TRUE(write_round_csv(path, round));
+  std::string error;
+  const auto loaded = read_round_csv(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->positions.size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded->deficit_joules[1], 5000.0);
+  EXPECT_DOUBLE_EQ(loaded->residual_lifetime_s[0], 1000.0);
+}
+
+TEST(RoundIo, ToProblemConvertsUnits) {
+  RoundData round;
+  round.positions = {{1, 2}};
+  round.deficit_joules = {8640.0};
+  const auto problem = round.to_problem({0, 0}, 2.7, 1.0, 2, 2.0);
+  EXPECT_DOUBLE_EQ(problem.charge_seconds(0), 4320.0);
+  EXPECT_EQ(problem.num_chargers(), 2u);
+  EXPECT_DOUBLE_EQ(problem.charging_rate_w(), 2.0);
+}
+
+TEST(RoundIo, MixedLifetimeColumnsRejected) {
+  const std::string path = temp_path("mixed.csv");
+  write_text(path, "1,2,100,50\n3,4,100\n");
+  std::string error;
+  EXPECT_FALSE(read_round_csv(path, &error));
+}
+
+TEST(RoundIo, EmptyFileRejected) {
+  const std::string path = temp_path("empty_round.csv");
+  write_text(path, "# just a comment\n");
+  EXPECT_FALSE(read_round_csv(path));
+}
+
+TEST(ScheduleIo, CsvHasRowPerSojourn) {
+  Rng rng(2);
+  std::vector<geom::Point> pts;
+  std::vector<double> deficits;
+  for (int i = 0; i < 40; ++i) {
+    pts.push_back({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)});
+    deficits.push_back(rng.uniform(1000.0, 5400.0));
+  }
+  model::ChargingProblem problem(std::move(pts), std::move(deficits), {50, 50},
+                                 2.7, 1.0, 2);
+  core::ApproScheduler appro;
+  const auto schedule = sched::execute_plan(problem, appro.plan(problem));
+  const std::string path = temp_path("schedule.csv");
+  ASSERT_TRUE(write_schedule_csv(path, problem, schedule));
+
+  std::ifstream in(path);
+  std::string line;
+  std::size_t lines = 0;
+  std::getline(in, line);  // header
+  EXPECT_NE(line.find("mcv,stop"), std::string::npos);
+  while (std::getline(in, line)) ++lines;
+  // One row per sojourn plus one return row per MCV.
+  EXPECT_EQ(lines, schedule.num_stops() + schedule.mcvs.size());
+}
+
+TEST(Timeline, MarksChargingAndWaiting) {
+  // Two MCVs forced into a conflict: the second lane must show 'w'.
+  model::ChargingProblem problem({{10, 0}, {12, 0}, {14, 0}},
+                                 {100.0, 50.0, 200.0}, {0, 0}, 2.7, 1.0, 2);
+  sched::ChargingPlan plan;
+  plan.tours = {{0}, {2}};
+  const auto schedule = sched::execute_plan(problem, plan);
+  const std::string text = render_timeline(problem, schedule, 60);
+  EXPECT_NE(text.find("mcv 0"), std::string::npos);
+  EXPECT_NE(text.find("mcv 1"), std::string::npos);
+  EXPECT_NE(text.find('='), std::string::npos);
+  EXPECT_NE(text.find('w'), std::string::npos);
+}
+
+TEST(RoundIo, JunkLinesRejectedNotCrashed) {
+  // A grab-bag of malformed content must produce parse errors, never
+  // aborts or garbage data.
+  const char* bad_contents[] = {
+      "1,2\n",              // too few columns
+      "1,2,3,4,5\n",        // too many columns
+      "x,y,z\n",            // non-numeric
+      ",,,\n",              // empty cells
+      "1,2,3\n1,2\n",       // inconsistent rows
+  };
+  int idx = 0;
+  for (const char* content : bad_contents) {
+    const std::string path =
+        temp_path("junk" + std::to_string(idx++) + ".csv");
+    write_text(path, content);
+    std::string error;
+    EXPECT_FALSE(read_round_csv(path, &error)) << content;
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(InstanceIo, CommentsAndBlankLinesIgnored) {
+  const std::string path = temp_path("comments.csv");
+  write_text(path,
+             "# header comment\n"
+             "\n"
+             "config,100,100,50,50,50,50,10800,2.7,2,1,2,0.2\n"
+             "# mid comment\n"
+             "sensor,1,2,1000,0.001\n");
+  const auto loaded = read_instance_csv(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_sensors(), 1u);
+}
+
+TEST(Timeline, EmptyScheduleHandled) {
+  model::ChargingProblem problem({}, {}, {0, 0}, 2.7, 1.0, 1);
+  sched::ChargingSchedule schedule;
+  schedule.mcvs.resize(1);
+  EXPECT_NE(render_timeline(problem, schedule).find("empty"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcharge::io

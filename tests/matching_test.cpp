@@ -1,0 +1,244 @@
+// Tests for minimum-weight perfect matching: exact DP vs brute force, and
+// local-search quality vs the exact optimum on small instances.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "geometry/field.h"
+#include "geometry/point.h"
+#include "matching/blossom.h"
+#include "matching/matching.h"
+#include "util/rng.h"
+
+namespace mcharge::matching {
+namespace {
+
+/// Reference: minimum-weight perfect matching by recursive enumeration.
+double brute_force_weight(std::size_t n, const WeightFn& w) {
+  std::vector<char> used(n, 0);
+  double best = std::numeric_limits<double>::infinity();
+  // Recursive lambda via explicit stack of choices.
+  std::function<void(double)> rec = [&](double acc) {
+    std::size_t a = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!used[i]) {
+        a = i;
+        break;
+      }
+    }
+    if (a == n) {
+      best = std::min(best, acc);
+      return;
+    }
+    used[a] = 1;
+    for (std::size_t b = a + 1; b < n; ++b) {
+      if (used[b]) continue;
+      used[b] = 1;
+      rec(acc + w(static_cast<std::uint32_t>(a), static_cast<std::uint32_t>(b)));
+      used[b] = 0;
+    }
+    used[a] = 0;
+  };
+  rec(0.0);
+  return best;
+}
+
+WeightFn euclidean(const std::vector<geom::Point>& pts) {
+  return [&pts](std::uint32_t a, std::uint32_t b) {
+    return geom::distance(pts[a], pts[b]);
+  };
+}
+
+TEST(ExactMatching, EmptyAndPair) {
+  const auto none = exact_min_weight_matching(0, [](auto, auto) { return 1.0; });
+  EXPECT_TRUE(none.empty());
+  const auto pair = exact_min_weight_matching(2, [](auto, auto) { return 3.0; });
+  ASSERT_EQ(pair.size(), 1u);
+  EXPECT_TRUE(is_perfect_matching(2, pair));
+}
+
+TEST(ExactMatching, FourPointsChoosesCheapPairs) {
+  // Two clusters far apart: {0,1} near, {2,3} near.
+  const std::vector<geom::Point> pts{{0, 0}, {0, 1}, {100, 0}, {100, 1}};
+  const auto m = exact_min_weight_matching(4, euclidean(pts));
+  EXPECT_TRUE(is_perfect_matching(4, m));
+  EXPECT_NEAR(matching_weight(m, euclidean(pts)), 2.0, 1e-12);
+}
+
+class ExactVsBrute : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExactVsBrute, SameOptimum) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 1);
+  const std::size_t n = 2 * (1 + rng.below(5));  // 2..10
+  const auto pts = geom::uniform_field(n, 100.0, 100.0, rng);
+  const auto w = euclidean(pts);
+  const auto m = exact_min_weight_matching(n, w);
+  EXPECT_TRUE(is_perfect_matching(n, m));
+  EXPECT_NEAR(matching_weight(m, w), brute_force_weight(n, w), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactVsBrute, ::testing::Range(0, 12));
+
+class LocalSearchQuality : public ::testing::TestWithParam<int> {};
+
+TEST_P(LocalSearchQuality, PerfectAndNearOptimal) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 3);
+  const std::size_t n = 2 * (2 + rng.below(6));  // 4..14
+  const auto pts = geom::uniform_field(n, 100.0, 100.0, rng);
+  const auto w = euclidean(pts);
+  const auto m = local_search_matching(n, w);
+  ASSERT_TRUE(is_perfect_matching(n, m));
+  const double opt = brute_force_weight(n, w);
+  // 2-exchange local optimum on Euclidean inputs is empirically within a
+  // small factor of optimal; assert a generous 1.25 bound.
+  EXPECT_LE(matching_weight(m, w), 1.25 * opt + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LocalSearchQuality, ::testing::Range(0, 12));
+
+TEST(LocalSearchMatching, LargeInstanceIsPerfect) {
+  Rng rng(5);
+  const std::size_t n = 300;
+  const auto pts = geom::uniform_field(n, 100.0, 100.0, rng);
+  const auto m = local_search_matching(n, euclidean(pts));
+  EXPECT_TRUE(is_perfect_matching(n, m));
+}
+
+TEST(Dispatch, UsesExactBelowLimit) {
+  Rng rng(9);
+  const std::size_t n = kExactLimit;
+  const auto pts = geom::uniform_field(n, 50.0, 50.0, rng);
+  const auto w = euclidean(pts);
+  const auto dispatched = min_weight_perfect_matching(n, w);
+  const auto exact = exact_min_weight_matching(n, w);
+  EXPECT_NEAR(matching_weight(dispatched, w), matching_weight(exact, w), 1e-9);
+}
+
+// ---------- blossom ----------
+
+TEST(Blossom, EmptyAndPair) {
+  EXPECT_TRUE(
+      blossom_min_weight_matching(0, [](auto, auto) { return 1.0; }).empty());
+  const auto pair =
+      blossom_min_weight_matching(2, [](auto, auto) { return 3.0; });
+  EXPECT_TRUE(is_perfect_matching(2, pair));
+}
+
+TEST(Blossom, FourPointsChoosesCheapPairs) {
+  const std::vector<geom::Point> pts{{0, 0}, {0, 1}, {100, 0}, {100, 1}};
+  const auto m = blossom_min_weight_matching(4, euclidean(pts));
+  EXPECT_TRUE(is_perfect_matching(4, m));
+  EXPECT_NEAR(matching_weight(m, euclidean(pts)), 2.0, 1e-3);
+}
+
+class BlossomVsExactDp : public ::testing::TestWithParam<int> {};
+
+TEST_P(BlossomVsExactDp, GeometricInstances) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 50021 + 9);
+  const std::size_t n = 2 * (1 + rng.below(8));  // 2..16
+  const auto pts = geom::uniform_field(n, 100.0, 100.0, rng);
+  const auto w = euclidean(pts);
+  const auto blossom = blossom_min_weight_matching(n, w);
+  ASSERT_TRUE(is_perfect_matching(n, blossom));
+  const auto exact = exact_min_weight_matching(n, w);
+  // Quantization can cost at most (range / resolution) per pair.
+  const double tolerance =
+      n * 150.0 / static_cast<double>(kBlossomResolution) + 1e-9;
+  EXPECT_NEAR(matching_weight(blossom, w), matching_weight(exact, w),
+              tolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BlossomVsExactDp, ::testing::Range(0, 30));
+
+class BlossomVsExactDpAdversarial : public ::testing::TestWithParam<int> {};
+
+TEST_P(BlossomVsExactDpAdversarial, RandomIntegerWeights) {
+  // Small random integer weights produce many ties and force blossom
+  // formation far more often than geometric inputs do.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104651 + 17);
+  const std::size_t n = 2 * (2 + rng.below(6));  // 4..14
+  std::vector<std::vector<double>> w(n, std::vector<double>(n, 0.0));
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) {
+      w[u][v] = w[v][u] = static_cast<double>(rng.below(8));
+    }
+  }
+  const WeightFn fn = [&](std::uint32_t a, std::uint32_t b) {
+    return w[a][b];
+  };
+  const auto blossom = blossom_min_weight_matching(n, fn);
+  ASSERT_TRUE(is_perfect_matching(n, blossom));
+  const auto exact = exact_min_weight_matching(n, fn);
+  const double tolerance =
+      n * 8.0 / static_cast<double>(kBlossomResolution) + 1e-9;
+  EXPECT_NEAR(matching_weight(blossom, fn), matching_weight(exact, fn),
+              tolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BlossomVsExactDpAdversarial,
+                         ::testing::Range(0, 30));
+
+TEST(Blossom, LargeGeometricInstanceBeatsLocalSearchOrTies) {
+  Rng rng(77);
+  const std::size_t n = 200;
+  const auto pts = geom::uniform_field(n, 100.0, 100.0, rng);
+  const auto w = euclidean(pts);
+  const auto exact = blossom_min_weight_matching(n, w);
+  ASSERT_TRUE(is_perfect_matching(n, exact));
+  const auto heuristic = local_search_matching(n, w);
+  EXPECT_LE(matching_weight(exact, w),
+            matching_weight(heuristic, w) + 1e-3);
+}
+
+TEST(Blossom, AtTheDpFrontier) {
+  // n = 18 and 20: the largest sizes the DP can certify.
+  for (std::size_t n : {std::size_t{18}, std::size_t{20}}) {
+    Rng rng(n * 977 + 5);
+    const auto pts = geom::uniform_field(n, 100.0, 100.0, rng);
+    const auto w = euclidean(pts);
+    const auto blossom = blossom_min_weight_matching(n, w);
+    const auto exact = exact_min_weight_matching(n, w);
+    const double tolerance =
+        n * 150.0 / static_cast<double>(kBlossomResolution) + 1e-9;
+    EXPECT_NEAR(matching_weight(blossom, w), matching_weight(exact, w),
+                tolerance);
+  }
+}
+
+TEST(Blossom, ClusteredPointsWithManyTies) {
+  // Points in tight clusters create near-ties and dense blossom structure.
+  Rng rng(31);
+  std::vector<geom::Point> pts;
+  for (int c = 0; c < 4; ++c) {
+    const geom::Point center{rng.uniform(0.0, 100.0),
+                             rng.uniform(0.0, 100.0)};
+    for (int i = 0; i < 4; ++i) {
+      pts.push_back({center.x + rng.uniform(-0.5, 0.5),
+                     center.y + rng.uniform(-0.5, 0.5)});
+    }
+  }
+  const auto w = euclidean(pts);
+  const auto blossom = blossom_min_weight_matching(pts.size(), w);
+  const auto exact = exact_min_weight_matching(pts.size(), w);
+  EXPECT_NEAR(matching_weight(blossom, w), matching_weight(exact, w), 1e-2);
+}
+
+TEST(Blossom, AllEqualWeights) {
+  const auto m =
+      blossom_min_weight_matching(10, [](auto, auto) { return 5.0; });
+  EXPECT_TRUE(is_perfect_matching(10, m));
+}
+
+TEST(IsPerfectMatching, RejectsBadShapes) {
+  EXPECT_FALSE(is_perfect_matching(4, {{0, 1}}));            // too few pairs
+  EXPECT_FALSE(is_perfect_matching(4, {{0, 1}, {1, 2}}));    // reuse
+  EXPECT_FALSE(is_perfect_matching(4, {{0, 0}, {2, 3}}));    // self-pair
+  EXPECT_FALSE(is_perfect_matching(2, {{0, 5}}));            // out of range
+  EXPECT_TRUE(is_perfect_matching(4, {{2, 3}, {0, 1}}));
+}
+
+}  // namespace
+}  // namespace mcharge::matching

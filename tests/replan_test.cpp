@@ -1,0 +1,173 @@
+// Tests for mid-round fleet-state reconstruction and replanning, plus the
+// start-position plumbing in the executor/verifier it relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/appro.h"
+#include "core/replan.h"
+#include "schedule/execute.h"
+#include "schedule/verify.h"
+#include "util/rng.h"
+
+namespace mcharge::core {
+namespace {
+
+using model::ChargingProblem;
+
+ChargingProblem random_problem(std::size_t n, std::size_t k, Rng& rng) {
+  std::vector<geom::Point> pts;
+  std::vector<double> deficits;
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)});
+    deficits.push_back(rng.uniform(500.0, 3000.0));
+  }
+  return ChargingProblem(std::move(pts), std::move(deficits), {50, 50}, 2.7,
+                         1.0, k);
+}
+
+// ---------- start-position execution ----------
+
+TEST(StartPositions, FirstLegUsesPlanStart) {
+  ChargingProblem p({{10.0, 0.0}}, {100.0}, {0, 0}, 2.7, 1.0, 1);
+  sched::ChargingPlan plan;
+  plan.tours = {{0}};
+  plan.starts = {{7.0, 4.0}};  // 5 m from the sensor instead of 10
+  const auto schedule = sched::execute_plan(p, plan);
+  ASSERT_EQ(schedule.mcvs[0].sojourns.size(), 1u);
+  EXPECT_DOUBLE_EQ(schedule.mcvs[0].sojourns[0].arrival, 5.0);
+  // Return is still to the depot (10 m back).
+  EXPECT_DOUBLE_EQ(schedule.mcvs[0].return_time, 5.0 + 100.0 + 10.0);
+  EXPECT_TRUE(sched::verify_schedule(p, schedule).empty());
+}
+
+TEST(StartPositions, DefaultIsDepot) {
+  ChargingProblem p({{10.0, 0.0}}, {100.0}, {0, 0}, 2.7, 1.0, 1);
+  sched::ChargingPlan plan;
+  plan.tours = {{0}};
+  const auto schedule = sched::execute_plan(p, plan);
+  EXPECT_DOUBLE_EQ(schedule.mcvs[0].sojourns[0].arrival, 10.0);
+  ASSERT_EQ(schedule.starts.size(), 1u);
+  EXPECT_EQ(schedule.starts[0], p.depot());
+}
+
+// ---------- fleet_state_at ----------
+
+TEST(FleetState, InterpolatesAlongLegsAndParksAtStops) {
+  // One MCV: depot (0,0) -> sensor at (10,0), charge 100 s, return.
+  ChargingProblem p({{10.0, 0.0}}, {100.0}, {0, 0}, 2.7, 1.0, 1);
+  sched::ChargingPlan plan;
+  plan.tours = {{0}};
+  const auto schedule = sched::execute_plan(p, plan);
+
+  auto pos = [&](double t) { return fleet_state_at(p, schedule, t).mcv_positions[0]; };
+  EXPECT_NEAR(pos(0.0).x, 0.0, 1e-9);
+  EXPECT_NEAR(pos(5.0).x, 5.0, 1e-9);     // halfway out
+  EXPECT_NEAR(pos(10.0).x, 10.0, 1e-9);   // arrived
+  EXPECT_NEAR(pos(60.0).x, 10.0, 1e-9);   // parked, charging
+  EXPECT_NEAR(pos(115.0).x, 5.0, 1e-9);   // halfway home (departed at 110)
+  EXPECT_NEAR(pos(120.0).x, 0.0, 1e-9);   // home
+  EXPECT_NEAR(pos(999.0).x, 0.0, 1e-9);   // stays home
+}
+
+TEST(FleetState, ChargedSetGrowsWithTime) {
+  ChargingProblem p({{10, 0}, {40, 0}}, {100.0, 100.0}, {0, 0}, 2.7, 1.0, 1);
+  sched::ChargingPlan plan;
+  plan.tours = {{0, 1}};
+  const auto schedule = sched::execute_plan(p, plan);
+  EXPECT_EQ(fleet_state_at(p, schedule, 0.0).num_charged(), 0u);
+  // Sensor 0 done at 110; sensor 1 done at 110 + 30 + 100 = 240.
+  EXPECT_EQ(fleet_state_at(p, schedule, 115.0).num_charged(), 1u);
+  EXPECT_EQ(fleet_state_at(p, schedule, 241.0).num_charged(), 2u);
+}
+
+TEST(FleetState, IdleMcvStaysAtStart) {
+  ChargingProblem p({{10, 0}}, {100.0}, {0, 0}, 2.7, 1.0, 2);
+  sched::ChargingPlan plan;
+  plan.tours = {{0}, {}};
+  const auto schedule = sched::execute_plan(p, plan);
+  const auto state = fleet_state_at(p, schedule, 50.0);
+  EXPECT_EQ(state.mcv_positions[1], p.depot());
+}
+
+// ---------- replanning ----------
+
+TEST(Replan, EmptyWhenEverythingCharged) {
+  Rng rng(1);
+  const auto p = random_problem(30, 2, rng);
+  ApproScheduler appro;
+  const auto schedule = sched::execute_plan(p, appro.plan(p));
+  const auto state = fleet_state_at(p, schedule, 1e12);
+  EXPECT_EQ(state.num_charged(), 30u);
+  const auto replan = replan_from(p, state);
+  EXPECT_EQ(replan.subproblem.size(), 0u);
+  EXPECT_EQ(replan.plan.total_stops(), 0u);
+}
+
+class ReplanProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReplanProperty, MidRoundReplanIsFeasibleAndComplete) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 457 + 11);
+  const std::size_t n = 40 + rng.below(120);
+  const std::size_t k = 1 + rng.below(3);
+  const auto p = random_problem(n, k, rng);
+  ApproScheduler appro;
+  const auto schedule = sched::execute_plan(p, appro.plan(p));
+
+  // Interrupt somewhere in the middle of the round.
+  const double t = rng.uniform(0.1, 0.9) * schedule.longest_delay();
+  const auto state = fleet_state_at(p, schedule, t);
+  const auto replan = replan_from(p, state);
+
+  ASSERT_EQ(replan.subproblem.size() + state.num_charged(), n);
+  ASSERT_EQ(replan.plan.starts.size(), k);
+  const auto new_schedule =
+      sched::execute_plan(replan.subproblem, replan.plan);
+  EXPECT_TRUE(new_schedule.all_charged());
+  const auto violations =
+      sched::verify_schedule(replan.subproblem, new_schedule);
+  EXPECT_TRUE(violations.empty())
+      << (violations.empty() ? "" : violations[0]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReplanProperty, ::testing::Range(0, 12));
+
+TEST(Replan, OriginalIndexMapsBack) {
+  Rng rng(5);
+  const auto p = random_problem(50, 2, rng);
+  ApproScheduler appro;
+  const auto schedule = sched::execute_plan(p, appro.plan(p));
+  const double t = 0.3 * schedule.longest_delay();
+  const auto state = fleet_state_at(p, schedule, t);
+  const auto replan = replan_from(p, state);
+  for (std::size_t i = 0; i < replan.subproblem.size(); ++i) {
+    const std::uint32_t orig = replan.original_index[i];
+    EXPECT_FALSE(state.charged[orig]);
+    EXPECT_EQ(replan.subproblem.position(static_cast<std::uint32_t>(i)).x,
+              p.position(orig).x);
+    EXPECT_DOUBLE_EQ(
+        replan.subproblem.charge_seconds(static_cast<std::uint32_t>(i)),
+        p.charge_seconds(orig));
+  }
+}
+
+TEST(Replan, StartsFromCurrentPositionsSavesTravel) {
+  // MCV interrupted far from the depot: replanning from its position must
+  // not charge more travel than a depot restart for the first leg.
+  ChargingProblem p({{80, 0}, {90, 0}}, {100.0, 100.0}, {0, 0}, 2.7, 1.0, 1);
+  sched::ChargingPlan plan;
+  plan.tours = {{0, 1}};
+  const auto schedule = sched::execute_plan(p, plan);
+  // Interrupt right after sensor 0 finished (t = 80 + 100 = 180).
+  const auto state = fleet_state_at(p, schedule, 181.0);
+  ASSERT_EQ(state.num_charged(), 1u);
+  const auto replan = replan_from(p, state);
+  const auto new_schedule =
+      sched::execute_plan(replan.subproblem, replan.plan);
+  // First leg from ~(80,0) toward (90,0): ~10 m, not 90 m.
+  ASSERT_FALSE(new_schedule.mcvs[0].sojourns.empty());
+  EXPECT_LT(new_schedule.mcvs[0].sojourns[0].arrival, 15.0);
+}
+
+}  // namespace
+}  // namespace mcharge::core

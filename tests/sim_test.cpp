@@ -1,0 +1,267 @@
+// Tests for the round-based WRSN simulator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/kminmax.h"
+#include "core/appro.h"
+#include "sim/simulation.h"
+#include "util/rng.h"
+
+namespace mcharge::sim {
+namespace {
+
+model::WrsnInstance tiny_instance(std::size_t n, std::uint64_t seed) {
+  model::NetworkConfig config;
+  Rng rng(seed);
+  return model::make_instance(config, n, rng);
+}
+
+TEST(Simulate, EmptyNetworkNoActivity) {
+  model::WrsnInstance instance;
+  instance.config = model::NetworkConfig{};
+  core::ApproScheduler appro;
+  const auto result = simulate(instance, appro);
+  EXPECT_EQ(result.rounds, 0u);
+  EXPECT_DOUBLE_EQ(result.total_dead_seconds, 0.0);
+}
+
+TEST(Simulate, NoRequestsWhenDrawIsZero) {
+  auto instance = tiny_instance(20, 1);
+  for (auto& w : instance.consumption_w) w = 0.0;
+  core::ApproScheduler appro;
+  const auto result = simulate(instance, appro);
+  EXPECT_EQ(result.rounds, 0u);
+  EXPECT_EQ(result.sensors_charged, 0u);
+}
+
+TEST(Simulate, ShortHorizonStopsBeforeFirstRequest) {
+  auto instance = tiny_instance(20, 2);
+  core::ApproScheduler appro;
+  SimConfig config;
+  config.monitoring_period_s = 60.0;  // one minute: nothing crosses 20%
+  const auto result = simulate(instance, appro, config);
+  EXPECT_EQ(result.rounds, 0u);
+}
+
+TEST(Simulate, ChargingHappensOverAYear) {
+  auto instance = tiny_instance(60, 3);
+  core::ApproScheduler appro;
+  const auto result = simulate(instance, appro);
+  EXPECT_GT(result.rounds, 0u);
+  EXPECT_GT(result.sensors_charged, 0u);
+  EXPECT_EQ(result.verify_violations, 0u);
+  EXPECT_GT(result.round_longest_delay_s.mean(), 0.0);
+  EXPECT_GE(result.busy_fraction, 0.0);
+  EXPECT_LE(result.busy_fraction, 1.0);
+}
+
+TEST(Simulate, DeterministicForSameInstance) {
+  auto instance = tiny_instance(50, 4);
+  core::ApproScheduler appro;
+  const auto a = simulate(instance, appro);
+  const auto b = simulate(instance, appro);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_DOUBLE_EQ(a.total_dead_seconds, b.total_dead_seconds);
+  EXPECT_DOUBLE_EQ(a.round_longest_delay_s.mean(),
+                   b.round_longest_delay_s.mean());
+}
+
+TEST(Simulate, DeadTimeBoundedByHorizon) {
+  auto instance = tiny_instance(40, 5);
+  baselines::KMinMaxScheduler kminmax;
+  const auto result = simulate(instance, kminmax);
+  EXPECT_LE(result.total_dead_seconds,
+            40.0 * SimConfig{}.monitoring_period_s + 1.0);
+  EXPECT_GE(result.total_dead_seconds, 0.0);
+  EXPECT_NEAR(result.mean_dead_minutes_per_sensor,
+              result.total_dead_seconds / 40.0 / 60.0, 1e-9);
+}
+
+TEST(Simulate, HotterNetworkChargesMore) {
+  // Scaling every sensor's draw up should produce at least as many charge
+  // events.
+  auto cool = tiny_instance(40, 6);
+  auto hot = cool;
+  for (auto& w : hot.consumption_w) w *= 3.0;
+  core::ApproScheduler appro;
+  const auto cool_result = simulate(cool, appro);
+  const auto hot_result = simulate(hot, appro);
+  EXPECT_GT(hot_result.sensors_charged, cool_result.sensors_charged);
+}
+
+TEST(Simulate, BatchSizesReasonable) {
+  auto instance = tiny_instance(80, 7);
+  core::ApproScheduler appro;
+  const auto result = simulate(instance, appro);
+  EXPECT_GE(result.round_batch_size.min(), 1.0);
+  EXPECT_LE(result.round_batch_size.max(), 80.0);
+}
+
+TEST(Simulate, PerSensorMetricsConsistent) {
+  auto instance = tiny_instance(50, 9);
+  core::ApproScheduler appro;
+  const auto result = simulate(instance, appro);
+  ASSERT_EQ(result.dead_seconds_per_sensor.size(), 50u);
+  ASSERT_EQ(result.charges_per_sensor.size(), 50u);
+  double dead_sum = 0.0;
+  std::size_t charges_sum = 0;
+  for (std::size_t v = 0; v < 50; ++v) {
+    dead_sum += result.dead_seconds_per_sensor[v];
+    charges_sum += result.charges_per_sensor[v];
+  }
+  EXPECT_NEAR(dead_sum, result.total_dead_seconds, 1e-6);
+  EXPECT_EQ(charges_sum, result.sensors_charged);
+  EXPECT_GE(result.max_dead_minutes_per_sensor(), 0.0);
+}
+
+TEST(Simulate, RoundLogRecordedOnDemand) {
+  auto instance = tiny_instance(50, 10);
+  core::ApproScheduler appro;
+  SimConfig config;
+  const auto without = simulate(instance, appro, config);
+  EXPECT_TRUE(without.rounds_log.empty());
+  config.record_rounds = true;
+  const auto with = simulate(instance, appro, config);
+  ASSERT_EQ(with.rounds_log.size(), with.rounds);
+  double prev_dispatch = -1.0;
+  std::size_t charged = 0;
+  for (const auto& round : with.rounds_log) {
+    EXPECT_GT(round.dispatch_time, prev_dispatch);
+    prev_dispatch = round.dispatch_time;
+    EXPECT_GE(round.batch, round.charged);
+    EXPECT_GE(round.batch, 1u);
+    charged += round.charged;
+  }
+  EXPECT_EQ(charged, with.sensors_charged);
+}
+
+TEST(Simulate, EpochPolicyAlignsDispatches) {
+  auto instance = tiny_instance(60, 11);
+  core::ApproScheduler appro;
+  SimConfig config;
+  config.dispatch_epoch_s = 86400.0;  // daily fleet departures
+  config.record_rounds = true;
+  const auto result = simulate(instance, appro, config);
+  for (const auto& round : result.rounds_log) {
+    const double phase =
+        std::fmod(round.dispatch_time, config.dispatch_epoch_s);
+    EXPECT_LT(std::min(phase, config.dispatch_epoch_s - phase), 1e-3)
+        << "dispatch at " << round.dispatch_time;
+  }
+}
+
+TEST(Simulate, EpochPolicyBatchesMoreThanOnDemand) {
+  auto instance = tiny_instance(80, 12);
+  core::ApproScheduler appro;
+  SimConfig on_demand;
+  SimConfig weekly;
+  weekly.dispatch_epoch_s = 7.0 * 86400.0;
+  const auto a = simulate(instance, appro, on_demand);
+  const auto b = simulate(instance, appro, weekly);
+  if (a.rounds > 0 && b.rounds > 0) {
+    EXPECT_GE(b.round_batch_size.mean(), a.round_batch_size.mean());
+    EXPECT_LE(b.rounds, a.rounds);
+  }
+}
+
+TEST(Simulate, PartialChargingShortensRoundsButAddsThem) {
+  auto instance = tiny_instance(80, 13);
+  for (auto& w : instance.consumption_w) w *= 3.0;  // enough activity
+  core::ApproScheduler appro;
+  SimConfig full;
+  SimConfig partial;
+  partial.charge_target_fraction = 0.5;
+  const auto f = simulate(instance, appro, full);
+  const auto p = simulate(instance, appro, partial);
+  ASSERT_GT(f.rounds, 0u);
+  ASSERT_GT(p.rounds, 0u);
+  // Half-charging: sensors come back sooner -> more charge events.
+  EXPECT_GT(p.sensors_charged, f.sensors_charged);
+  // Each visit transfers less energy, so rounds are shorter on average.
+  EXPECT_LT(p.round_longest_delay_s.mean(), f.round_longest_delay_s.mean());
+}
+
+TEST(Simulate, FullTargetMatchesDefaultBehaviour) {
+  auto instance = tiny_instance(40, 14);
+  core::ApproScheduler appro;
+  SimConfig a;
+  SimConfig b;
+  b.charge_target_fraction = 1.0;
+  const auto ra = simulate(instance, appro, a);
+  const auto rb = simulate(instance, appro, b);
+  EXPECT_EQ(ra.rounds, rb.rounds);
+  EXPECT_DOUBLE_EQ(ra.total_dead_seconds, rb.total_dead_seconds);
+}
+
+TEST(Simulate, MonthlyDeadBucketsSumToTotal) {
+  auto instance = tiny_instance(80, 17);
+  for (auto& w : instance.consumption_w) w *= 6.0;  // force saturation
+  instance.config.num_chargers = 1;
+  core::ApproScheduler appro;
+  const auto result = simulate(instance, appro);
+  ASSERT_EQ(result.dead_seconds_by_month.size(), 13u);  // ceil(365/30)
+  double sum = 0.0;
+  for (double s : result.dead_seconds_by_month) {
+    EXPECT_GE(s, 0.0);
+    // A 30-day bucket holds at most 30 days per sensor.
+    EXPECT_LE(s, 80.0 * 30.0 * 86400.0 + 1.0);
+    sum += s;
+  }
+  EXPECT_NEAR(sum, result.total_dead_seconds,
+              1e-6 * std::max(1.0, result.total_dead_seconds));
+}
+
+TEST(Simulate, SaturatedFleetDeadTimeGrowsOverTheYear) {
+  auto instance = tiny_instance(120, 18);
+  for (auto& w : instance.consumption_w) w *= 6.0;
+  instance.config.num_chargers = 1;
+  core::ApproScheduler appro;
+  const auto result = simulate(instance, appro);
+  const auto& buckets = result.dead_seconds_by_month;
+  ASSERT_GE(buckets.size(), 12u);
+  // Late-year months carry far more dead time than the first month (the
+  // backlog builds).
+  const double early = buckets[0] + buckets[1];
+  const double late = buckets[9] + buckets[10];
+  EXPECT_GT(late, early);
+}
+
+TEST(Simulate, RequestLatencyTracked) {
+  auto instance = tiny_instance(60, 15);
+  core::ApproScheduler appro;
+  const auto result = simulate(instance, appro);
+  ASSERT_GT(result.sensors_charged, 0u);
+  // One latency sample per completed charge (within the horizon).
+  EXPECT_EQ(result.request_latency_s.count(), result.sensors_charged);
+  // Latency is at least the travel+charge floor (> 0) and bounded by the
+  // horizon.
+  EXPECT_GT(result.request_latency_s.min(), 0.0);
+  EXPECT_LT(result.request_latency_s.max(),
+            SimConfig{}.monitoring_period_s);
+}
+
+TEST(Simulate, LatencyWorsensWhenFleetShrinks) {
+  auto big = tiny_instance(100, 16);
+  for (auto& w : big.consumption_w) w *= 4.0;  // load the fleet
+  auto small_fleet = big;
+  small_fleet.config.num_chargers = 1;
+  auto large_fleet = big;
+  large_fleet.config.num_chargers = 4;
+  core::ApproScheduler appro;
+  const auto slow = simulate(small_fleet, appro);
+  const auto fast = simulate(large_fleet, appro);
+  EXPECT_GT(slow.request_latency_s.mean(), fast.request_latency_s.mean());
+}
+
+TEST(Simulate, RespectsMaxRounds) {
+  auto instance = tiny_instance(30, 8);
+  core::ApproScheduler appro;
+  SimConfig config;
+  config.max_rounds = 2;
+  const auto result = simulate(instance, appro, config);
+  EXPECT_LE(result.rounds, 2u);
+}
+
+}  // namespace
+}  // namespace mcharge::sim

@@ -1,0 +1,389 @@
+// Tests for TSP construction, improvement, and min-max K splitting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "geometry/field.h"
+#include "tsp/construct.h"
+#include "tsp/exact.h"
+#include "tsp/improve.h"
+#include "tsp/split.h"
+#include "tsp/tour_problem.h"
+#include "util/rng.h"
+
+namespace mcharge::tsp {
+namespace {
+
+TourProblem random_problem(std::size_t m, Rng& rng, double max_service = 100.0) {
+  TourProblem p;
+  p.sites = geom::uniform_field(m, 100.0, 100.0, rng);
+  p.service.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    p.service.push_back(rng.uniform(0.0, max_service));
+  }
+  p.depot = {50.0, 50.0};
+  p.speed = 1.0;
+  return p;
+}
+
+/// Held-Karp exact TSP over sites + depot for tiny instances; returns the
+/// optimal closed-tour travel time.
+double exact_travel(const TourProblem& p) {
+  const std::size_t m = p.size();
+  std::vector<SiteId> perm(m);
+  std::iota(perm.begin(), perm.end(), SiteId{0});
+  double best = std::numeric_limits<double>::infinity();
+  do {
+    Tour t(perm.begin(), perm.end());
+    best = std::min(best, tour_travel_time(p, t));
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+// ---------- delay accounting ----------
+
+TEST(TourProblem, DelayComponents) {
+  TourProblem p;
+  p.sites = {{53.0, 50.0}, {53.0, 54.0}};
+  p.service = {10.0, 20.0};
+  p.depot = {50.0, 50.0};
+  p.speed = 1.0;
+  const Tour tour{0, 1};
+  EXPECT_DOUBLE_EQ(tour_service_time(p, tour), 30.0);
+  EXPECT_DOUBLE_EQ(tour_travel_time(p, tour), 3.0 + 4.0 + 5.0);
+  EXPECT_DOUBLE_EQ(tour_delay(p, tour), 42.0);
+}
+
+TEST(TourProblem, EmptyTourZeroDelay) {
+  TourProblem p;
+  p.depot = {0, 0};
+  EXPECT_DOUBLE_EQ(tour_delay(p, {}), 0.0);
+}
+
+TEST(TourProblem, SpeedScalesTravelOnly) {
+  TourProblem p;
+  p.sites = {{10.0, 0.0}};
+  p.service = {7.0};
+  p.depot = {0.0, 0.0};
+  p.speed = 2.0;
+  EXPECT_DOUBLE_EQ(tour_delay(p, {0}), 10.0 + 7.0);
+}
+
+TEST(TourProblem, IsCompleteTour) {
+  TourProblem p;
+  p.sites = {{0, 0}, {1, 1}, {2, 2}};
+  p.service = {0, 0, 0};
+  EXPECT_TRUE(is_complete_tour(p, {2, 0, 1}));
+  EXPECT_FALSE(is_complete_tour(p, {0, 1}));
+  EXPECT_FALSE(is_complete_tour(p, {0, 1, 1}));
+  EXPECT_FALSE(is_complete_tour(p, {0, 1, 5}));
+}
+
+// ---------- constructors ----------
+
+class BuilderProperty
+    : public ::testing::TestWithParam<std::tuple<int, TourBuilder>> {};
+
+TEST_P(BuilderProperty, ProducesCompleteTour) {
+  const auto [seed, builder] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 1009 + 5);
+  const std::size_t m = 1 + rng.below(60);
+  const TourProblem p = random_problem(m, rng);
+  const Tour tour = build_tour(p, builder);
+  EXPECT_TRUE(is_complete_tour(p, tour));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBuilders, BuilderProperty,
+    ::testing::Combine(::testing::Range(0, 6),
+                       ::testing::Values(TourBuilder::kNearestNeighbor,
+                                         TourBuilder::kGreedyEdge,
+                                         TourBuilder::kDoubleTree,
+                                         TourBuilder::kChristofides)));
+
+TEST(Builders, EmptyAndSingleSite) {
+  TourProblem p;
+  p.depot = {0, 0};
+  for (auto b : {TourBuilder::kNearestNeighbor, TourBuilder::kGreedyEdge,
+                 TourBuilder::kDoubleTree, TourBuilder::kChristofides}) {
+    EXPECT_TRUE(build_tour(p, b).empty());
+  }
+  p.sites = {{3, 4}};
+  p.service = {1.0};
+  for (auto b : {TourBuilder::kNearestNeighbor, TourBuilder::kGreedyEdge,
+                 TourBuilder::kDoubleTree, TourBuilder::kChristofides}) {
+    const Tour t = build_tour(p, b);
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t[0], 0u);
+  }
+}
+
+class ChristofidesQuality : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChristofidesQuality, Within1point5OfExactOnTinyInstances) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 37 + 11);
+  const std::size_t m = 3 + rng.below(5);  // 3..7 sites
+  const TourProblem p = random_problem(m, rng);
+  const Tour tour = christofides_tour(p);
+  const double opt = exact_travel(p);
+  EXPECT_LE(tour_travel_time(p, tour), 1.5 * opt + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChristofidesQuality, ::testing::Range(0, 10));
+
+class DoubleTreeQuality : public ::testing::TestWithParam<int> {};
+
+TEST_P(DoubleTreeQuality, Within2OfExactOnTinyInstances) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 53 + 29);
+  const std::size_t m = 3 + rng.below(5);
+  const TourProblem p = random_problem(m, rng);
+  const Tour tour = double_tree_tour(p);
+  EXPECT_LE(tour_travel_time(p, tour), 2.0 * exact_travel(p) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DoubleTreeQuality, ::testing::Range(0, 10));
+
+// ---------- exact (Held-Karp) ----------
+
+class HeldKarpVsEnumeration : public ::testing::TestWithParam<int> {};
+
+TEST_P(HeldKarpVsEnumeration, MatchesPermutationOptimum) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 911 + 7);
+  const std::size_t m = 1 + rng.below(7);  // 1..7 (enumeration stays cheap)
+  const TourProblem p = random_problem(m, rng);
+  EXPECT_NEAR(held_karp_travel_time(p), exact_travel(p), 1e-9);
+  const Tour tour = held_karp_tour(p);
+  EXPECT_TRUE(is_complete_tour(p, tour));
+  EXPECT_NEAR(tour_travel_time(p, tour), exact_travel(p), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeldKarpVsEnumeration, ::testing::Range(0, 10));
+
+TEST(HeldKarp, EmptyProblem) {
+  TourProblem p;
+  p.depot = {0, 0};
+  EXPECT_DOUBLE_EQ(held_karp_travel_time(p), 0.0);
+  EXPECT_TRUE(held_karp_tour(p).empty());
+}
+
+TEST(HeldKarp, MediumInstanceLowerBoundsHeuristics) {
+  Rng rng(55);
+  const TourProblem p = random_problem(14, rng);
+  const double opt = held_karp_travel_time(p);
+  for (auto b : {TourBuilder::kNearestNeighbor, TourBuilder::kGreedyEdge,
+                 TourBuilder::kDoubleTree, TourBuilder::kChristofides}) {
+    const Tour tour = build_tour(p, b);
+    EXPECT_GE(tour_travel_time(p, tour), opt - 1e-9)
+        << "builder " << static_cast<int>(b);
+  }
+}
+
+TEST(HeldKarp, TwoOptNeverBeatsExact) {
+  for (int seed = 0; seed < 5; ++seed) {
+    Rng rng(static_cast<std::uint64_t>(seed) * 13 + 3);
+    const TourProblem p = random_problem(10, rng);
+    Tour tour = nearest_neighbor_tour(p);
+    improve_tour(p, tour);
+    EXPECT_GE(tour_travel_time(p, tour),
+              held_karp_travel_time(p) - 1e-9);
+  }
+}
+
+// ---------- improvement ----------
+
+TEST(TwoOpt, UncrossesSquare) {
+  TourProblem p;
+  p.sites = {{0, 0}, {10, 10}, {10, 0}, {0, 10}};
+  p.service = {0, 0, 0, 0};
+  p.depot = {0, -5};
+  // Crossing order: 0 -> 1 -> 2 -> 3.
+  Tour tour{0, 1, 2, 3};
+  const double before = tour_travel_time(p, tour);
+  const double saved = two_opt(p, tour);
+  EXPECT_GT(saved, 0.0);
+  EXPECT_NEAR(tour_travel_time(p, tour), before - saved, 1e-9);
+  EXPECT_TRUE(is_complete_tour(p, tour));
+}
+
+class ImproveProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ImproveProperty, NeverIncreasesTravelAndStaysComplete) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 401 + 3);
+  const std::size_t m = 2 + rng.below(50);
+  const TourProblem p = random_problem(m, rng);
+  Tour tour = nearest_neighbor_tour(p);
+  const double before = tour_travel_time(p, tour);
+  const double saved = improve_tour(p, tour);
+  EXPECT_GE(saved, 0.0);
+  EXPECT_NEAR(tour_travel_time(p, tour), before - saved, 1e-6);
+  EXPECT_TRUE(is_complete_tour(p, tour));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ImproveProperty, ::testing::Range(0, 8));
+
+TEST(OrOpt, RelocatesObviousOutlier) {
+  // Line of sites visited out of order (20 before 10); relocating the
+  // single site x=10 to the front saves 20 m.
+  TourProblem p;
+  p.sites = {{10, 0}, {20, 0}, {30, 0}, {40, 0}};
+  p.service = {0, 0, 0, 0};
+  p.depot = {0, 0};
+  Tour tour{1, 0, 2, 3};  // 0 -> 20 -> 10 -> 30 -> 40 -> 0 = 100 m
+  const double saved = or_opt(p, tour);
+  EXPECT_NEAR(saved, 20.0, 1e-9);
+  EXPECT_EQ(tour, (Tour{0, 1, 2, 3}));
+}
+
+// ---------- splitting ----------
+
+TEST(Split, SingleChargerKeepsWholeTour) {
+  Rng rng(1);
+  const TourProblem p = random_problem(20, rng);
+  Tour tour = nearest_neighbor_tour(p);
+  const auto result = split_min_max(p, tour, 1);
+  ASSERT_EQ(result.tours.size(), 1u);
+  EXPECT_TRUE(is_complete_tour(p, result.tours[0]));
+  EXPECT_NEAR(result.max_delay, tour_delay(p, tour), 1e-9);
+}
+
+TEST(Split, EmptyProblem) {
+  TourProblem p;
+  p.depot = {0, 0};
+  const auto result = split_min_max(p, {}, 3);
+  ASSERT_EQ(result.tours.size(), 3u);
+  for (const auto& t : result.tours) EXPECT_TRUE(t.empty());
+  EXPECT_DOUBLE_EQ(result.max_delay, 0.0);
+}
+
+class SplitProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SplitProperty, PartitionPreservedAndDelayConsistent) {
+  const auto [seed, k] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 61 + 13);
+  const std::size_t m = 1 + rng.below(80);
+  const TourProblem p = random_problem(m, rng, 500.0);
+  Tour tour = nearest_neighbor_tour(p);
+  two_opt(p, tour);
+  const auto result = split_min_max(p, tour, static_cast<std::size_t>(k));
+  ASSERT_EQ(result.tours.size(), static_cast<std::size_t>(k));
+
+  // Union of segments is exactly the site set, in tour order.
+  Tour combined;
+  for (const auto& seg : result.tours) {
+    combined.insert(combined.end(), seg.begin(), seg.end());
+  }
+  EXPECT_EQ(combined, tour);
+
+  // Reported max delay matches recomputation and never exceeds the whole
+  // tour's delay.
+  double recomputed = 0.0;
+  for (const auto& seg : result.tours) {
+    recomputed = std::max(recomputed, tour_delay(p, seg));
+  }
+  EXPECT_NEAR(result.max_delay, recomputed, 1e-9);
+  EXPECT_LE(result.max_delay, tour_delay(p, tour) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SplitProperty,
+                         ::testing::Combine(::testing::Range(0, 6),
+                                            ::testing::Values(1, 2, 3, 5)));
+
+/// Brute force: best max-delay over all ways to cut `tour` into <= k
+/// consecutive segments (exponential; tiny inputs only).
+double brute_force_split(const TourProblem& p, const Tour& tour,
+                         std::size_t k) {
+  const std::size_t m = tour.size();
+  double best = std::numeric_limits<double>::infinity();
+  // Each of the m-1 gaps is cut or not; <= k segments means <= k-1 cuts.
+  const std::uint32_t gaps = m > 0 ? static_cast<std::uint32_t>(m - 1) : 0;
+  for (std::uint32_t mask = 0; mask < (1u << gaps); ++mask) {
+    if (static_cast<std::size_t>(__builtin_popcount(mask)) > k - 1) continue;
+    double worst = 0.0;
+    Tour segment;
+    for (std::size_t i = 0; i < m; ++i) {
+      segment.push_back(tour[i]);
+      const bool cut = i < gaps && (mask & (1u << i));
+      if (cut || i + 1 == m) {
+        worst = std::max(worst, tour_delay(p, segment));
+        segment.clear();
+      }
+    }
+    best = std::min(best, worst);
+  }
+  return best;
+}
+
+class SplitOptimality : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(SplitOptimality, BinarySearchMatchesBruteForceCut) {
+  const auto [seed, k] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 131 + 71);
+  const std::size_t m = 2 + rng.below(11);  // 2..12 sites
+  const TourProblem p = random_problem(m, rng, 400.0);
+  const Tour tour = nearest_neighbor_tour(p);
+  const auto split = split_min_max(p, tour, static_cast<std::size_t>(k));
+  const double brute = brute_force_split(p, tour, static_cast<std::size_t>(k));
+  EXPECT_NEAR(split.max_delay, brute, 1e-6 * std::max(1.0, brute));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SplitOptimality,
+                         ::testing::Combine(::testing::Range(0, 8),
+                                            ::testing::Values(1, 2, 3, 4)));
+
+TEST(Split, MoreChargersNeverWorse) {
+  Rng rng(17);
+  const TourProblem p = random_problem(60, rng, 300.0);
+  Tour tour = nearest_neighbor_tour(p);
+  double prev = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 1; k <= 5; ++k) {
+    const auto result = split_min_max(p, tour, k);
+    EXPECT_LE(result.max_delay, prev + 1e-9);
+    prev = result.max_delay;
+  }
+}
+
+TEST(Split, LowerBoundRespected) {
+  // Max delay can never be below the hardest single site.
+  Rng rng(23);
+  const TourProblem p = random_problem(40, rng, 1000.0);
+  Tour tour = nearest_neighbor_tour(p);
+  double hardest = 0.0;
+  for (SiteId v = 0; v < p.size(); ++v) {
+    hardest = std::max(hardest, 2.0 * p.travel_depot(v) + p.service[v]);
+  }
+  const auto result = split_min_max(p, tour, 4);
+  EXPECT_GE(result.max_delay, hardest - 1e-9);
+}
+
+TEST(MinMaxKTours, EndToEndCoversAllSites) {
+  Rng rng(31);
+  const TourProblem p = random_problem(100, rng, 200.0);
+  const auto result = min_max_k_tours(p, 3);
+  std::vector<char> seen(p.size(), 0);
+  for (const auto& tour : result.tours) {
+    for (SiteId v : tour) {
+      EXPECT_FALSE(seen[v]);
+      seen[v] = 1;
+    }
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](char c) { return c; }));
+  EXPECT_GT(result.max_delay, 0.0);
+}
+
+TEST(MinMaxKTours, SegmentImproveNeverHurts) {
+  Rng rng(41);
+  const TourProblem p = random_problem(80, rng, 200.0);
+  MinMaxTourOptions with, without;
+  with.improve_segments = true;
+  without.improve_segments = false;
+  const auto a = min_max_k_tours(p, 3, with);
+  const auto b = min_max_k_tours(p, 3, without);
+  EXPECT_LE(a.max_delay, b.max_delay + 1e-9);
+}
+
+}  // namespace
+}  // namespace mcharge::tsp

@@ -1,0 +1,130 @@
+// Tests for the SVG canvas and domain renderers.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "core/appro.h"
+#include "model/network.h"
+#include "schedule/execute.h"
+#include "util/rng.h"
+#include "viz/render.h"
+#include "viz/svg.h"
+
+namespace mcharge::viz {
+namespace {
+
+std::size_t count(const std::string& haystack, const std::string& needle) {
+  std::size_t total = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++total;
+  }
+  return total;
+}
+
+TEST(SvgCanvas, WellFormedDocument) {
+  SvgCanvas svg(0, 0, 100, 50);
+  svg.circle(10, 10, 2, "#ff0000");
+  svg.line(0, 0, 100, 50, "#000000", 1.0);
+  svg.rect(5, 5, 10, 10, "#00ff00");
+  svg.polyline("0,0 10,10 20,0", "#0000ff", 0.5);
+  svg.text(1, 1, "hello", 4);
+  const std::string doc = svg.finish();
+  EXPECT_EQ(doc.rfind("<svg", 0), 0u);
+  EXPECT_NE(doc.find("</svg>"), std::string::npos);
+  EXPECT_NE(doc.find("viewBox=\"0 0 100 50\""), std::string::npos);
+  EXPECT_EQ(count(doc, "<circle"), 1u);
+  EXPECT_EQ(count(doc, "<line"), 1u);
+  EXPECT_EQ(count(doc, "<polyline"), 1u);
+  EXPECT_NE(doc.find(">hello</text>"), std::string::npos);
+}
+
+TEST(SvgCanvas, EscapesText) {
+  SvgCanvas svg(0, 0, 10, 10);
+  svg.text(0, 0, "a<b&c>d", 2);
+  const std::string doc = svg.finish();
+  EXPECT_NE(doc.find("a&lt;b&amp;c&gt;d"), std::string::npos);
+}
+
+TEST(SvgCanvas, WritesFile) {
+  SvgCanvas svg(0, 0, 10, 10);
+  svg.circle(5, 5, 1, "#123456");
+  const std::string path = ::testing::TempDir() + "/canvas.svg";
+  ASSERT_TRUE(svg.write(path));
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("#123456"), std::string::npos);
+}
+
+TEST(LerpColor, Endpoints) {
+  EXPECT_EQ(lerp_color("#000000", "#ffffff", 0.0), "#000000");
+  EXPECT_EQ(lerp_color("#000000", "#ffffff", 1.0), "#ffffff");
+  EXPECT_EQ(lerp_color("#000000", "#ffffff", 0.5), "#808080");
+  // Clamped outside [0, 1].
+  EXPECT_EQ(lerp_color("#102030", "#405060", -3.0), "#102030");
+  EXPECT_EQ(lerp_color("#102030", "#405060", 9.0), "#405060");
+}
+
+TEST(McvColor, DistinctForSmallFleets) {
+  for (std::size_t a = 0; a < 8; ++a) {
+    for (std::size_t b = a + 1; b < 8; ++b) {
+      EXPECT_NE(mcv_color(a), mcv_color(b));
+    }
+  }
+  EXPECT_EQ(mcv_color(0), mcv_color(8));  // palette cycles
+}
+
+TEST(RenderInstance, ContainsEverySensor) {
+  model::NetworkConfig config;
+  Rng rng(1);
+  const auto instance = model::make_instance(config, 60, rng);
+  const std::string doc = render_instance_svg(instance);
+  // 60 sensor dots + base-station marker (depot co-located, not drawn).
+  EXPECT_EQ(count(doc, "<circle"), 60u);
+  EXPECT_NE(doc.find("BS"), std::string::npos);
+}
+
+TEST(RenderInstance, DrawsSeparateDepot) {
+  model::NetworkConfig config;
+  config.depot = {0.0, 0.0};
+  Rng rng(2);
+  const auto instance = model::make_instance(config, 10, rng);
+  const std::string doc = render_instance_svg(instance);
+  EXPECT_NE(doc.find("depot"), std::string::npos);
+}
+
+TEST(RenderSchedule, ToursAndDisksPresent) {
+  Rng rng(3);
+  std::vector<geom::Point> pts;
+  std::vector<double> deficits;
+  for (int i = 0; i < 50; ++i) {
+    pts.push_back({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)});
+    deficits.push_back(rng.uniform(1000.0, 5400.0));
+  }
+  model::ChargingProblem problem(std::move(pts), std::move(deficits), {50, 50},
+                                 2.7, 1.0, 2);
+  core::ApproScheduler appro;
+  const auto schedule = sched::execute_plan(problem, appro.plan(problem));
+  const std::string doc = render_schedule_svg(problem, schedule);
+  // One polyline per non-empty tour.
+  std::size_t nonempty = 0;
+  for (const auto& mcv : schedule.mcvs) nonempty += !mcv.sojourns.empty();
+  EXPECT_EQ(count(doc, "<polyline"), nonempty);
+  // A coverage disk per stop plus a dot per sensor.
+  EXPECT_EQ(count(doc, "<circle"), schedule.num_stops() + problem.size());
+  EXPECT_NE(doc.find("longest delay"), std::string::npos);
+}
+
+TEST(RenderSchedule, UnchargedSensorRinged) {
+  model::ChargingProblem problem({{20, 0}, {80, 0}}, {100.0, 100.0}, {50, 0},
+                                 2.7, 1.0, 1);
+  sched::ChargingPlan plan;
+  plan.tours = {{0}};  // sensor 1 never charged
+  const auto schedule = sched::execute_plan(problem, plan);
+  const std::string doc = render_schedule_svg(problem, schedule);
+  EXPECT_NE(doc.find("stroke=\"#d62728\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcharge::viz
