@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_ratio.dir/approx_ratio.cpp.o"
+  "CMakeFiles/approx_ratio.dir/approx_ratio.cpp.o.d"
+  "approx_ratio"
+  "approx_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

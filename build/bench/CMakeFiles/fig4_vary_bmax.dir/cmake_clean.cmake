@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_vary_bmax.dir/fig4_vary_bmax.cpp.o"
+  "CMakeFiles/fig4_vary_bmax.dir/fig4_vary_bmax.cpp.o.d"
+  "fig4_vary_bmax"
+  "fig4_vary_bmax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_vary_bmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_vary_k.dir/fig5_vary_k.cpp.o"
+  "CMakeFiles/fig5_vary_k.dir/fig5_vary_k.cpp.o.d"
+  "fig5_vary_k"
+  "fig5_vary_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_vary_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/farm_monitoring.dir/farm_monitoring.cpp.o"
+  "CMakeFiles/farm_monitoring.dir/farm_monitoring.cpp.o.d"
+  "farm_monitoring"
+  "farm_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/farm_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_operations.dir/live_operations.cpp.o"
+  "CMakeFiles/live_operations.dir/live_operations.cpp.o.d"
+  "live_operations"
+  "live_operations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_operations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulate_campaign.dir/simulate_campaign.cpp.o"
+  "CMakeFiles/simulate_campaign.dir/simulate_campaign.cpp.o.d"
+  "simulate_campaign"
+  "simulate_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulate_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("geometry")
+subdirs("graph")
+subdirs("matching")
+subdirs("assignment")
+subdirs("cluster")
+subdirs("tsp")
+subdirs("energy")
+subdirs("model")
+subdirs("schedule")
+subdirs("io")
+subdirs("viz")
+subdirs("core")
+subdirs("baselines")
+subdirs("sim")

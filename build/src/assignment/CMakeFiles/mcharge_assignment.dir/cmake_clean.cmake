@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcharge_assignment.dir/hungarian.cpp.o"
+  "CMakeFiles/mcharge_assignment.dir/hungarian.cpp.o.d"
+  "libmcharge_assignment.a"
+  "libmcharge_assignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcharge_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

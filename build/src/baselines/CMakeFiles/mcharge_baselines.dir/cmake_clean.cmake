@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcharge_baselines.dir/aa.cpp.o"
+  "CMakeFiles/mcharge_baselines.dir/aa.cpp.o.d"
+  "CMakeFiles/mcharge_baselines.dir/greedy_cover.cpp.o"
+  "CMakeFiles/mcharge_baselines.dir/greedy_cover.cpp.o.d"
+  "CMakeFiles/mcharge_baselines.dir/kedf.cpp.o"
+  "CMakeFiles/mcharge_baselines.dir/kedf.cpp.o.d"
+  "CMakeFiles/mcharge_baselines.dir/kminmax.cpp.o"
+  "CMakeFiles/mcharge_baselines.dir/kminmax.cpp.o.d"
+  "CMakeFiles/mcharge_baselines.dir/netwrap.cpp.o"
+  "CMakeFiles/mcharge_baselines.dir/netwrap.cpp.o.d"
+  "libmcharge_baselines.a"
+  "libmcharge_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcharge_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcharge_cluster.dir/kmeans.cpp.o"
+  "CMakeFiles/mcharge_cluster.dir/kmeans.cpp.o.d"
+  "libmcharge_cluster.a"
+  "libmcharge_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcharge_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

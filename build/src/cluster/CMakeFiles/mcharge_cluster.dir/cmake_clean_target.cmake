@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmcharge_cluster.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcharge_core.dir/appro.cpp.o"
+  "CMakeFiles/mcharge_core.dir/appro.cpp.o.d"
+  "CMakeFiles/mcharge_core.dir/bounds.cpp.o"
+  "CMakeFiles/mcharge_core.dir/bounds.cpp.o.d"
+  "CMakeFiles/mcharge_core.dir/exact.cpp.o"
+  "CMakeFiles/mcharge_core.dir/exact.cpp.o.d"
+  "CMakeFiles/mcharge_core.dir/overlap_graph.cpp.o"
+  "CMakeFiles/mcharge_core.dir/overlap_graph.cpp.o.d"
+  "CMakeFiles/mcharge_core.dir/replan.cpp.o"
+  "CMakeFiles/mcharge_core.dir/replan.cpp.o.d"
+  "libmcharge_core.a"
+  "libmcharge_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcharge_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

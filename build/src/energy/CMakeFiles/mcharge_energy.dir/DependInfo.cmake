@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/energy/battery.cpp" "src/energy/CMakeFiles/mcharge_energy.dir/battery.cpp.o" "gcc" "src/energy/CMakeFiles/mcharge_energy.dir/battery.cpp.o.d"
+  "/root/repo/src/energy/consumption.cpp" "src/energy/CMakeFiles/mcharge_energy.dir/consumption.cpp.o" "gcc" "src/energy/CMakeFiles/mcharge_energy.dir/consumption.cpp.o.d"
+  "/root/repo/src/energy/radio.cpp" "src/energy/CMakeFiles/mcharge_energy.dir/radio.cpp.o" "gcc" "src/energy/CMakeFiles/mcharge_energy.dir/radio.cpp.o.d"
+  "/root/repo/src/energy/routing.cpp" "src/energy/CMakeFiles/mcharge_energy.dir/routing.cpp.o" "gcc" "src/energy/CMakeFiles/mcharge_energy.dir/routing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/mcharge_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mcharge_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mcharge_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcharge_energy.dir/battery.cpp.o"
+  "CMakeFiles/mcharge_energy.dir/battery.cpp.o.d"
+  "CMakeFiles/mcharge_energy.dir/consumption.cpp.o"
+  "CMakeFiles/mcharge_energy.dir/consumption.cpp.o.d"
+  "CMakeFiles/mcharge_energy.dir/radio.cpp.o"
+  "CMakeFiles/mcharge_energy.dir/radio.cpp.o.d"
+  "CMakeFiles/mcharge_energy.dir/routing.cpp.o"
+  "CMakeFiles/mcharge_energy.dir/routing.cpp.o.d"
+  "libmcharge_energy.a"
+  "libmcharge_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcharge_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

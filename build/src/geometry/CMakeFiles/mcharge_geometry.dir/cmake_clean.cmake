@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcharge_geometry.dir/field.cpp.o"
+  "CMakeFiles/mcharge_geometry.dir/field.cpp.o.d"
+  "CMakeFiles/mcharge_geometry.dir/grid_index.cpp.o"
+  "CMakeFiles/mcharge_geometry.dir/grid_index.cpp.o.d"
+  "CMakeFiles/mcharge_geometry.dir/point.cpp.o"
+  "CMakeFiles/mcharge_geometry.dir/point.cpp.o.d"
+  "libmcharge_geometry.a"
+  "libmcharge_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcharge_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/dsu.cpp" "src/graph/CMakeFiles/mcharge_graph.dir/dsu.cpp.o" "gcc" "src/graph/CMakeFiles/mcharge_graph.dir/dsu.cpp.o.d"
+  "/root/repo/src/graph/euler.cpp" "src/graph/CMakeFiles/mcharge_graph.dir/euler.cpp.o" "gcc" "src/graph/CMakeFiles/mcharge_graph.dir/euler.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/graph/CMakeFiles/mcharge_graph.dir/graph.cpp.o" "gcc" "src/graph/CMakeFiles/mcharge_graph.dir/graph.cpp.o.d"
+  "/root/repo/src/graph/mis.cpp" "src/graph/CMakeFiles/mcharge_graph.dir/mis.cpp.o" "gcc" "src/graph/CMakeFiles/mcharge_graph.dir/mis.cpp.o.d"
+  "/root/repo/src/graph/mst.cpp" "src/graph/CMakeFiles/mcharge_graph.dir/mst.cpp.o" "gcc" "src/graph/CMakeFiles/mcharge_graph.dir/mst.cpp.o.d"
+  "/root/repo/src/graph/traversal.cpp" "src/graph/CMakeFiles/mcharge_graph.dir/traversal.cpp.o" "gcc" "src/graph/CMakeFiles/mcharge_graph.dir/traversal.cpp.o.d"
+  "/root/repo/src/graph/unit_disk.cpp" "src/graph/CMakeFiles/mcharge_graph.dir/unit_disk.cpp.o" "gcc" "src/graph/CMakeFiles/mcharge_graph.dir/unit_disk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/mcharge_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mcharge_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

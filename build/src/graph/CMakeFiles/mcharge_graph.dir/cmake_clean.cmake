@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcharge_graph.dir/dsu.cpp.o"
+  "CMakeFiles/mcharge_graph.dir/dsu.cpp.o.d"
+  "CMakeFiles/mcharge_graph.dir/euler.cpp.o"
+  "CMakeFiles/mcharge_graph.dir/euler.cpp.o.d"
+  "CMakeFiles/mcharge_graph.dir/graph.cpp.o"
+  "CMakeFiles/mcharge_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/mcharge_graph.dir/mis.cpp.o"
+  "CMakeFiles/mcharge_graph.dir/mis.cpp.o.d"
+  "CMakeFiles/mcharge_graph.dir/mst.cpp.o"
+  "CMakeFiles/mcharge_graph.dir/mst.cpp.o.d"
+  "CMakeFiles/mcharge_graph.dir/traversal.cpp.o"
+  "CMakeFiles/mcharge_graph.dir/traversal.cpp.o.d"
+  "CMakeFiles/mcharge_graph.dir/unit_disk.cpp.o"
+  "CMakeFiles/mcharge_graph.dir/unit_disk.cpp.o.d"
+  "libmcharge_graph.a"
+  "libmcharge_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcharge_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcharge_io.dir/instance_io.cpp.o"
+  "CMakeFiles/mcharge_io.dir/instance_io.cpp.o.d"
+  "CMakeFiles/mcharge_io.dir/schedule_io.cpp.o"
+  "CMakeFiles/mcharge_io.dir/schedule_io.cpp.o.d"
+  "libmcharge_io.a"
+  "libmcharge_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcharge_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

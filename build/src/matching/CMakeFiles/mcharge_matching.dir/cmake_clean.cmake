@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcharge_matching.dir/blossom.cpp.o"
+  "CMakeFiles/mcharge_matching.dir/blossom.cpp.o.d"
+  "CMakeFiles/mcharge_matching.dir/matching.cpp.o"
+  "CMakeFiles/mcharge_matching.dir/matching.cpp.o.d"
+  "libmcharge_matching.a"
+  "libmcharge_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcharge_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

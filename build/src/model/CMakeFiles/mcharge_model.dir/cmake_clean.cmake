@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcharge_model.dir/charging_problem.cpp.o"
+  "CMakeFiles/mcharge_model.dir/charging_problem.cpp.o.d"
+  "CMakeFiles/mcharge_model.dir/network.cpp.o"
+  "CMakeFiles/mcharge_model.dir/network.cpp.o.d"
+  "libmcharge_model.a"
+  "libmcharge_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcharge_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

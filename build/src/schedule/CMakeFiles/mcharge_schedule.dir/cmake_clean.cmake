@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcharge_schedule.dir/estimate.cpp.o"
+  "CMakeFiles/mcharge_schedule.dir/estimate.cpp.o.d"
+  "CMakeFiles/mcharge_schedule.dir/execute.cpp.o"
+  "CMakeFiles/mcharge_schedule.dir/execute.cpp.o.d"
+  "CMakeFiles/mcharge_schedule.dir/plan.cpp.o"
+  "CMakeFiles/mcharge_schedule.dir/plan.cpp.o.d"
+  "CMakeFiles/mcharge_schedule.dir/verify.cpp.o"
+  "CMakeFiles/mcharge_schedule.dir/verify.cpp.o.d"
+  "libmcharge_schedule.a"
+  "libmcharge_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcharge_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

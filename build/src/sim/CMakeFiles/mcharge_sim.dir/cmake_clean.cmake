@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcharge_sim.dir/simulation.cpp.o"
+  "CMakeFiles/mcharge_sim.dir/simulation.cpp.o.d"
+  "libmcharge_sim.a"
+  "libmcharge_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcharge_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

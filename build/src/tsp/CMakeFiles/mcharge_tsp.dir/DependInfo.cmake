@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tsp/construct.cpp" "src/tsp/CMakeFiles/mcharge_tsp.dir/construct.cpp.o" "gcc" "src/tsp/CMakeFiles/mcharge_tsp.dir/construct.cpp.o.d"
+  "/root/repo/src/tsp/exact.cpp" "src/tsp/CMakeFiles/mcharge_tsp.dir/exact.cpp.o" "gcc" "src/tsp/CMakeFiles/mcharge_tsp.dir/exact.cpp.o.d"
+  "/root/repo/src/tsp/improve.cpp" "src/tsp/CMakeFiles/mcharge_tsp.dir/improve.cpp.o" "gcc" "src/tsp/CMakeFiles/mcharge_tsp.dir/improve.cpp.o.d"
+  "/root/repo/src/tsp/split.cpp" "src/tsp/CMakeFiles/mcharge_tsp.dir/split.cpp.o" "gcc" "src/tsp/CMakeFiles/mcharge_tsp.dir/split.cpp.o.d"
+  "/root/repo/src/tsp/tour_problem.cpp" "src/tsp/CMakeFiles/mcharge_tsp.dir/tour_problem.cpp.o" "gcc" "src/tsp/CMakeFiles/mcharge_tsp.dir/tour_problem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/mcharge_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mcharge_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/mcharge_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mcharge_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

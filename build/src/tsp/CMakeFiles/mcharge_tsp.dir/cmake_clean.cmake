@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcharge_tsp.dir/construct.cpp.o"
+  "CMakeFiles/mcharge_tsp.dir/construct.cpp.o.d"
+  "CMakeFiles/mcharge_tsp.dir/exact.cpp.o"
+  "CMakeFiles/mcharge_tsp.dir/exact.cpp.o.d"
+  "CMakeFiles/mcharge_tsp.dir/improve.cpp.o"
+  "CMakeFiles/mcharge_tsp.dir/improve.cpp.o.d"
+  "CMakeFiles/mcharge_tsp.dir/split.cpp.o"
+  "CMakeFiles/mcharge_tsp.dir/split.cpp.o.d"
+  "CMakeFiles/mcharge_tsp.dir/tour_problem.cpp.o"
+  "CMakeFiles/mcharge_tsp.dir/tour_problem.cpp.o.d"
+  "libmcharge_tsp.a"
+  "libmcharge_tsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcharge_tsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcharge_util.dir/cli.cpp.o"
+  "CMakeFiles/mcharge_util.dir/cli.cpp.o.d"
+  "CMakeFiles/mcharge_util.dir/rng.cpp.o"
+  "CMakeFiles/mcharge_util.dir/rng.cpp.o.d"
+  "CMakeFiles/mcharge_util.dir/stats.cpp.o"
+  "CMakeFiles/mcharge_util.dir/stats.cpp.o.d"
+  "CMakeFiles/mcharge_util.dir/table.cpp.o"
+  "CMakeFiles/mcharge_util.dir/table.cpp.o.d"
+  "libmcharge_util.a"
+  "libmcharge_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcharge_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/viz/render.cpp" "src/viz/CMakeFiles/mcharge_viz.dir/render.cpp.o" "gcc" "src/viz/CMakeFiles/mcharge_viz.dir/render.cpp.o.d"
+  "/root/repo/src/viz/svg.cpp" "src/viz/CMakeFiles/mcharge_viz.dir/svg.cpp.o" "gcc" "src/viz/CMakeFiles/mcharge_viz.dir/svg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/mcharge_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedule/CMakeFiles/mcharge_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mcharge_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/mcharge_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mcharge_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/mcharge_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcharge_viz.dir/render.cpp.o"
+  "CMakeFiles/mcharge_viz.dir/render.cpp.o.d"
+  "CMakeFiles/mcharge_viz.dir/svg.cpp.o"
+  "CMakeFiles/mcharge_viz.dir/svg.cpp.o.d"
+  "libmcharge_viz.a"
+  "libmcharge_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcharge_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

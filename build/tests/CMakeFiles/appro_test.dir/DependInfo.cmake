@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/appro_test.cpp" "tests/CMakeFiles/appro_test.dir/appro_test.cpp.o" "gcc" "tests/CMakeFiles/appro_test.dir/appro_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mcharge_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedule/CMakeFiles/mcharge_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mcharge_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/mcharge_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsp/CMakeFiles/mcharge_tsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/mcharge_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mcharge_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/mcharge_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mcharge_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

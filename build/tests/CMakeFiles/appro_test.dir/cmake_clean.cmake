@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appro_test.dir/appro_test.cpp.o"
+  "CMakeFiles/appro_test.dir/appro_test.cpp.o.d"
+  "appro_test"
+  "appro_test.pdb"
+  "appro_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appro_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

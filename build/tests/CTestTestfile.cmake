@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/geometry_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/matching_test[1]_include.cmake")
+include("/root/repo/build/tests/assignment_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/tsp_test[1]_include.cmake")
+include("/root/repo/build/tests/energy_test[1]_include.cmake")
+include("/root/repo/build/tests/model_test[1]_include.cmake")
+include("/root/repo/build/tests/schedule_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/viz_test[1]_include.cmake")
+include("/root/repo/build/tests/appro_test[1]_include.cmake")
+include("/root/repo/build/tests/exact_test[1]_include.cmake")
+include("/root/repo/build/tests/replan_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/regression_test[1]_include.cmake")
