@@ -7,9 +7,13 @@
 // Measures the executed longest charge delay on fresh charging rounds
 // (not the simulator loop, which would mix in request-dynamics noise).
 //
-// Flags: --n=1000 --chargers=2 --rounds=10 --seed=1
+// Flags: --n=1000 --chargers=2 --rounds=10 --seed=1 --jobs=0
+// (--jobs: worker threads; 0 = all hardware threads. Output is identical
+// for every job count — each (variant, round) work item reseeds itself.)
 #include <cstdio>
 #include <iostream>
+#include <memory>
+#include <utility>
 
 #include "baselines/greedy_cover.h"
 #include "core/appro.h"
@@ -17,6 +21,7 @@
 #include "schedule/execute.h"
 #include "schedule/verify.h"
 #include "util/cli.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -49,6 +54,7 @@ int main(int argc, char** argv) {
   const auto k = static_cast<std::size_t>(flags.get_int("chargers", 2));
   const auto rounds = static_cast<std::size_t>(flags.get_int("rounds", 10));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const auto jobs = static_cast<std::size_t>(flags.get_int("jobs", 0));
 
   std::vector<Variant> variants;
   {
@@ -93,34 +99,61 @@ int main(int argc, char** argv) {
     variants.push_back(v);
   }
 
+  // Full roster up front (variants plus the structural comparator: greedy
+  // max-coverage without the MIS + overlap-graph machinery) so the rounds
+  // flatten into one (variant, round) work list.
+  std::vector<std::pair<std::string, std::unique_ptr<sched::Scheduler>>> algos;
+  for (const auto& variant : variants) {
+    algos.emplace_back(variant.name,
+                       std::make_unique<core::ApproScheduler>(variant.options));
+  }
+  algos.emplace_back("greedy-cover (no MIS/H)",
+                     std::make_unique<baselines::GreedyCoverScheduler>());
+
+  struct ItemResult {
+    double delay_h = 0.0;
+    double stops = 0.0;
+    double wait_s = 0.0;
+    std::size_t violations = 0;
+  };
+  std::vector<ItemResult> results(algos.size() * rounds);
+  parallel_for(
+      results.size(),
+      [&](std::size_t idx) {
+        const std::size_t a = idx / rounds;
+        const std::size_t r = idx % rounds;
+        Rng rng(derive_seed(seed, r));  // same round problem for all variants
+        const auto problem = random_round(n, k, rng);
+        const auto schedule =
+            sched::execute_plan(problem, algos[a].second->plan(problem));
+        ItemResult& item = results[idx];
+        item.violations = sched::verify_schedule(problem, schedule).size();
+        item.delay_h = schedule.longest_delay() / 3600.0;
+        item.stops = static_cast<double>(schedule.num_stops());
+        item.wait_s = schedule.total_wait();
+      },
+      jobs);
+
   Table table({"variant", "mean_delay_h", "max_delay_h", "mean_stops",
                "mean_wait_s", "violations"});
-  auto measure = [&](const std::string& name, const sched::Scheduler& algo) {
+  for (std::size_t a = 0; a < algos.size(); ++a) {
     RunningStats delay, stops, wait;
     std::size_t violations = 0;
     for (std::size_t r = 0; r < rounds; ++r) {
-      Rng rng(seed * 31 + r * 977);
-      const auto problem = random_round(n, k, rng);
-      const auto schedule = sched::execute_plan(problem, algo.plan(problem));
-      violations += sched::verify_schedule(problem, schedule).size();
-      delay.add(schedule.longest_delay() / 3600.0);
-      stops.add(static_cast<double>(schedule.num_stops()));
-      wait.add(schedule.total_wait());
+      const ItemResult& item = results[a * rounds + r];
+      delay.add(item.delay_h);
+      stops.add(item.stops);
+      wait.add(item.wait_s);
+      violations += item.violations;
     }
     table.start_row();
-    table.add(name);
+    table.add(algos[a].first);
     table.add(delay.mean(), 3);
     table.add(delay.max(), 3);
     table.add(stops.mean(), 1);
     table.add(wait.mean(), 1);
     table.add(static_cast<long long>(violations));
-  };
-  for (const auto& variant : variants) {
-    measure(variant.name, core::ApproScheduler(variant.options));
   }
-  // Structural comparator: greedy max-coverage stops without the MIS +
-  // overlap-graph machinery (waiting resolves its conflicts).
-  measure("greedy-cover (no MIS/H)", baselines::GreedyCoverScheduler());
   std::printf("Appro design ablation: n=%zu, K=%zu, %zu fresh rounds\n\n", n,
               k, rounds);
   table.print(std::cout);

@@ -7,15 +7,21 @@
 // sojourn charges more sensors. The bench quantifies both sides (dead time
 // up, tour efficiency up).
 //
-// Flags: --n=1000 --chargers=2 --instances=5 --months=12 --seed=1
+// Flags: --n=1000 --chargers=2 --instances=5 --months=12 --seed=1 --jobs=0
+// (--jobs: worker threads; 0 = all hardware threads. Output is identical
+// for every job count — each (algorithm, policy, instance) work item
+// reseeds itself from the instance index alone.)
 #include <cstdio>
 #include <iostream>
+#include <iterator>
+#include <vector>
 
 #include "baselines/kminmax.h"
 #include "core/appro.h"
 #include "model/network.h"
 #include "sim/simulation.h"
 #include "util/cli.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -29,6 +35,7 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.get_int("instances", 5));
   const double months = flags.get_double("months", 12.0);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const auto jobs = static_cast<std::size_t>(flags.get_int("jobs", 0));
 
   struct Policy {
     const char* name;
@@ -43,28 +50,43 @@ int main(int argc, char** argv) {
 
   core::ApproScheduler appro;
   baselines::KMinMaxScheduler kminmax;
+  const sched::Scheduler* algorithms[] = {
+      static_cast<const sched::Scheduler*>(&appro),
+      static_cast<const sched::Scheduler*>(&kminmax)};
+  constexpr std::size_t kNumAlgos = std::size(algorithms);
+  constexpr std::size_t kNumPolicies = std::size(policies);
 
-  Table table({"algorithm", "policy", "rounds", "mean_batch",
-               "mean_tour_h", "dead_min_per_sensor", "charged_per_batch"});
-  for (const sched::Scheduler* algo :
-       {static_cast<const sched::Scheduler*>(&appro),
-        static_cast<const sched::Scheduler*>(&kminmax)}) {
-    for (const Policy& policy : policies) {
-      RunningStats rounds, batch, tour, dead, stops_ratio;
-      for (std::size_t i = 0; i < instances; ++i) {
+  // One work item per (algorithm, policy, instance) triple; the instance
+  // is regenerated from a seed derived from its index alone, so every
+  // (algorithm, policy) cell simulates the same instance stream.
+  struct ItemResult {
+    double rounds = 0.0;
+    double batch = 0.0;
+    double tour_h = 0.0;
+    double dead_min = 0.0;
+    double stops_ratio = 1.0;
+  };
+  std::vector<ItemResult> items(kNumAlgos * kNumPolicies * instances);
+  parallel_for(
+      items.size(),
+      [&](std::size_t idx) {
+        const std::size_t a = idx / (kNumPolicies * instances);
+        const std::size_t p = idx / instances % kNumPolicies;
+        const std::size_t i = idx % instances;
         model::NetworkConfig config;
         config.num_chargers = k;
-        Rng rng(seed * 1201 + i * 37);
+        Rng rng(derive_seed(seed, i));
         const auto instance = model::make_instance(config, n, rng);
         sim::SimConfig sim_config;
         sim_config.monitoring_period_s = months * 30.0 * 86400.0;
-        sim_config.dispatch_epoch_s = policy.epoch_s;
+        sim_config.dispatch_epoch_s = policies[p].epoch_s;
         sim_config.record_rounds = true;
-        const auto r = sim::simulate(instance, *algo, sim_config);
-        rounds.add(static_cast<double>(r.rounds));
-        batch.add(r.round_batch_size.mean());
-        tour.add(r.mean_longest_delay_hours());
-        dead.add(r.mean_dead_minutes_per_sensor);
+        const auto r = sim::simulate(instance, *algorithms[a], sim_config);
+        ItemResult& item = items[idx];
+        item.rounds = static_cast<double>(r.rounds);
+        item.batch = r.round_batch_size.mean();
+        item.tour_h = r.mean_longest_delay_hours();
+        item.dead_min = r.mean_dead_minutes_per_sensor;
         // Multi-node efficiency proxy: charge events per... sojourn stops
         // are not directly in SimResult; batch/charged ratio suffices.
         double charged = 0.0, batches = 0.0;
@@ -72,11 +94,26 @@ int main(int argc, char** argv) {
           charged += static_cast<double>(round.charged);
           batches += static_cast<double>(round.batch);
         }
-        stops_ratio.add(batches > 0.0 ? charged / batches : 1.0);
+        item.stops_ratio = batches > 0.0 ? charged / batches : 1.0;
+      },
+      jobs);
+
+  Table table({"algorithm", "policy", "rounds", "mean_batch",
+               "mean_tour_h", "dead_min_per_sensor", "charged_per_batch"});
+  for (std::size_t a = 0; a < kNumAlgos; ++a) {
+    for (std::size_t p = 0; p < kNumPolicies; ++p) {
+      RunningStats rounds, batch, tour, dead, stops_ratio;
+      for (std::size_t i = 0; i < instances; ++i) {
+        const ItemResult& item = items[(a * kNumPolicies + p) * instances + i];
+        rounds.add(item.rounds);
+        batch.add(item.batch);
+        tour.add(item.tour_h);
+        dead.add(item.dead_min);
+        stops_ratio.add(item.stops_ratio);
       }
       table.start_row();
-      table.add(algo->name());
-      table.add(policy.name);
+      table.add(algorithms[a]->name());
+      table.add(policies[p].name);
       table.add(rounds.mean(), 0);
       table.add(batch.mean(), 1);
       table.add(tour.mean(), 2);

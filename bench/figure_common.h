@@ -11,6 +11,8 @@
 //   --instances=N   instances per point           (default 10; paper: 100)
 //   --months=M      monitoring period in months   (default 12, as the paper)
 //   --seed=S        base RNG seed                 (default 1)
+//   --jobs=N        worker threads; 0 = all hardware threads (default),
+//                   1 = serial. Output is byte-identical for every N.
 //   --csv=PREFIX    also write PREFIX_a.csv / PREFIX_b.csv
 #pragma once
 
@@ -27,6 +29,7 @@
 #include "core/appro.h"
 #include "sim/simulation.h"
 #include "util/cli.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -47,6 +50,9 @@ struct SweepSettings {
   std::size_t instances = 10;
   double months = 12.0;
   std::uint64_t seed = 1;
+  /// Worker threads for the (instance, algorithm) work items; 0 = all
+  /// hardware threads, 1 = serial. Never affects the numbers, only speed.
+  std::size_t jobs = 0;
   std::string csv_prefix;  ///< empty = no CSV files
   /// Sensor placement. The paper uses uniform; --layout=clustered/grid
   /// checks that the conclusions survive other deployment shapes.
@@ -57,6 +63,7 @@ struct SweepSettings {
     s.instances = static_cast<std::size_t>(flags.get_int("instances", 10));
     s.months = flags.get_double("months", 12.0);
     s.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+    s.jobs = static_cast<std::size_t>(flags.get_int("jobs", 0));
     s.csv_prefix = flags.get("csv", "");
     const std::string layout = flags.get("layout", "uniform");
     if (layout == "clustered") s.layout = model::FieldLayout::kClustered;
@@ -82,20 +89,44 @@ PointResult run_point(const SweepSettings& settings,
   sim::SimConfig sim_config;
   sim_config.monitoring_period_s = settings.months * 30.0 * 86400.0;
 
-  std::vector<RunningStats> tour(algorithms.size());
-  std::vector<RunningStats> dead(algorithms.size());
+  // One work item per (instance, algorithm) pair: the item regenerates
+  // its instance from a seed derived only from the instance index (all
+  // algorithms see the same instance, and no state crosses items), runs
+  // the year-long simulation, and records into its own slot. The mapping
+  // of items to threads therefore cannot influence any number.
+  const std::size_t num_algos = algorithms.size();
+  struct ItemResult {
+    RunningStats tour, dead;
+    std::size_t violations = 0;
+  };
+  std::vector<ItemResult> items(settings.instances * num_algos);
+  parallel_for(
+      items.size(),
+      [&](std::size_t idx) {
+        const std::size_t inst = idx / num_algos;
+        const std::size_t a = idx % num_algos;
+        Rng rng(derive_seed(settings.seed, inst));
+        const model::WrsnInstance instance = make_instance(rng);
+        const auto r = sim::simulate(instance, *algorithms[a], sim_config);
+        items[idx].tour.add(r.mean_longest_delay_hours());
+        items[idx].dead.add(r.mean_dead_minutes_per_sensor);
+        items[idx].violations = r.verify_violations;
+      },
+      settings.jobs);
+
+  // Deterministic reduction on the calling thread, in instance order.
+  std::vector<RunningStats> tour(num_algos);
+  std::vector<RunningStats> dead(num_algos);
   PointResult result;
   for (std::size_t inst = 0; inst < settings.instances; ++inst) {
-    Rng rng(settings.seed * 7919 + inst * 104729 + 13);
-    const model::WrsnInstance instance = make_instance(rng);
-    for (std::size_t a = 0; a < algorithms.size(); ++a) {
-      const auto r = sim::simulate(instance, *algorithms[a], sim_config);
-      tour[a].add(r.mean_longest_delay_hours());
-      dead[a].add(r.mean_dead_minutes_per_sensor);
-      result.violations += r.verify_violations;
+    for (std::size_t a = 0; a < num_algos; ++a) {
+      const ItemResult& item = items[inst * num_algos + a];
+      tour[a].merge(item.tour);
+      dead[a].merge(item.dead);
+      result.violations += item.violations;
     }
   }
-  for (std::size_t a = 0; a < algorithms.size(); ++a) {
+  for (std::size_t a = 0; a < num_algos; ++a) {
     result.longest_tour_hours.push_back(tour[a].mean());
     result.dead_minutes.push_back(dead[a].mean());
     result.tour_stddev.push_back(tour[a].stddev());

@@ -11,6 +11,7 @@
 #include "core/exact.h"
 #include "core/overlap_graph.h"
 #include "core/replan.h"
+#include "figure_common.h"
 #include "geometry/field.h"
 #include "graph/mis.h"
 #include "graph/unit_disk.h"
@@ -139,12 +140,63 @@ void BM_TwoOpt(benchmark::State& state) {
   const auto p =
       make_tour_problem(static_cast<std::size_t>(state.range(0)), 7);
   const auto base = tsp::nearest_neighbor_tour(p);
+  p.drop_distance_cache();  // measure the uncached (on-the-fly) hot path
   for (auto _ : state) {
     auto tour = base;
     benchmark::DoNotOptimize(tsp::two_opt(p, tour));
   }
 }
 BENCHMARK(BM_TwoOpt)->Arg(50)->Arg(150)->Arg(350);
+
+void BM_TwoOptCached(benchmark::State& state) {
+  // Identical workload to BM_TwoOpt, but served from the precomputed
+  // distance matrix. Produces bit-identical tours; the delta between the
+  // two benches is pure distance-recomputation overhead.
+  const auto p =
+      make_tour_problem(static_cast<std::size_t>(state.range(0)), 7);
+  const auto base = tsp::nearest_neighbor_tour(p);
+  p.ensure_distance_cache();
+  for (auto _ : state) {
+    auto tour = base;
+    benchmark::DoNotOptimize(tsp::two_opt(p, tour));
+  }
+}
+BENCHMARK(BM_TwoOptCached)->Arg(50)->Arg(150)->Arg(350);
+
+void BM_OrOpt(benchmark::State& state) {
+  const auto p =
+      make_tour_problem(static_cast<std::size_t>(state.range(0)), 7);
+  const auto base = tsp::nearest_neighbor_tour(p);
+  p.drop_distance_cache();
+  for (auto _ : state) {
+    auto tour = base;
+    benchmark::DoNotOptimize(tsp::or_opt(p, tour));
+  }
+}
+BENCHMARK(BM_OrOpt)->Arg(50)->Arg(150)->Arg(350);
+
+void BM_OrOptCached(benchmark::State& state) {
+  const auto p =
+      make_tour_problem(static_cast<std::size_t>(state.range(0)), 7);
+  const auto base = tsp::nearest_neighbor_tour(p);
+  p.ensure_distance_cache();
+  for (auto _ : state) {
+    auto tour = base;
+    benchmark::DoNotOptimize(tsp::or_opt(p, tour));
+  }
+}
+BENCHMARK(BM_OrOptCached)->Arg(50)->Arg(150)->Arg(350);
+
+void BM_DistanceCacheBuild(benchmark::State& state) {
+  const auto p =
+      make_tour_problem(static_cast<std::size_t>(state.range(0)), 7);
+  for (auto _ : state) {
+    p.drop_distance_cache();
+    p.ensure_distance_cache();
+    benchmark::DoNotOptimize(p.distance(0, 1));
+  }
+}
+BENCHMARK(BM_DistanceCacheBuild)->Arg(50)->Arg(150)->Arg(350);
 
 void BM_MinMaxKTours(benchmark::State& state) {
   const auto p = make_tour_problem(300, 8);
@@ -252,6 +304,31 @@ void BM_ReplanMidRound(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ReplanMidRound)->Arg(200)->Arg(600)->Arg(1200)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ParallelSweep(benchmark::State& state) {
+  // One small figure-bench sweep point (3 instances x 5 algorithms, a
+  // half-month horizon) under the given worker count. On a multi-core
+  // machine the jobs > 1 runs show the wall-clock scaling of the
+  // (instance, algorithm) work-item decomposition; the statistics are
+  // byte-identical at every job count.
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  const auto algorithms = bench::paper_algorithms();
+  bench::SweepSettings settings;
+  settings.instances = 3;
+  settings.months = 0.5;
+  settings.seed = 21;
+  settings.jobs = jobs;
+  model::NetworkConfig config;
+  config.num_chargers = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bench::run_point(settings, algorithms, [&](Rng& rng) {
+          return model::make_instance(config, 200, rng);
+        }));
+  }
+}
+BENCHMARK(BM_ParallelSweep)->Arg(1)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

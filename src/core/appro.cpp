@@ -1,6 +1,7 @@
 #include "core/appro.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "core/overlap_graph.h"
@@ -12,6 +13,55 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
+/// Per-plan travel-time memo over the sensors the insertion phase can
+/// touch (the members of S_I: tour stops and insertion candidates). The
+/// insertion rounds re-derive the same legs over and over — every
+/// recompute_finish walks its whole tour, every candidate probes its
+/// neighbors — so pairs are computed once and then served from a dense
+/// |S_I| x |S_I| table, filled lazily with exactly the values
+/// ChargingProblem::travel would return (results are bit-identical).
+class TravelCache {
+ public:
+  TravelCache(const model::ChargingProblem& p,
+              const std::vector<std::uint32_t>& sensors)
+      : p_(p), compact_(p.size(), -1) {
+    for (std::uint32_t s : sensors) {
+      if (compact_[s] < 0) {
+        compact_[s] = static_cast<std::int32_t>(ids_.size());
+        ids_.push_back(s);
+      }
+    }
+    const std::size_t m = ids_.size();
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    pair_.assign(m * m, nan);
+    depot_.assign(m, nan);
+  }
+
+  double travel(std::uint32_t u, std::uint32_t v) {
+    const auto iu = static_cast<std::size_t>(compact_[u]);
+    const auto iv = static_cast<std::size_t>(compact_[v]);
+    double& slot = pair_[iu * ids_.size() + iv];
+    if (std::isnan(slot)) {
+      slot = p_.travel(u, v);
+      pair_[iv * ids_.size() + iu] = slot;  // symmetric
+    }
+    return slot;
+  }
+
+  double travel_depot(std::uint32_t u) {
+    double& slot = depot_[static_cast<std::size_t>(compact_[u])];
+    if (std::isnan(slot)) slot = p_.travel_depot(u);
+    return slot;
+  }
+
+ private:
+  const model::ChargingProblem& p_;
+  std::vector<std::int32_t> compact_;  ///< sensor id -> cache index, -1 = out
+  std::vector<std::uint32_t> ids_;     ///< cache index -> sensor id
+  std::vector<double> pair_;           ///< NaN = not yet computed
+  std::vector<double> depot_;
+};
+
 /// Working state of one charging tour during the insertion phase.
 struct WorkTour {
   std::vector<std::uint32_t> seq;       ///< sensor ids, visit order
@@ -21,11 +71,11 @@ struct WorkTour {
 
 /// Recomputes f along a tour from scratch (Eqs. (6), (11), (12) fold into
 /// a single forward pass once every stop's tau' is fixed).
-void recompute_finish(const model::ChargingProblem& p, WorkTour& tour) {
+void recompute_finish(TravelCache& travel, WorkTour& tour) {
   double clock = 0.0;
   for (std::size_t l = 0; l < tour.seq.size(); ++l) {
-    clock += l == 0 ? p.travel_depot(tour.seq[l])
-                    : p.travel(tour.seq[l - 1], tour.seq[l]);
+    clock += l == 0 ? travel.travel_depot(tour.seq[l])
+                    : travel.travel(tour.seq[l - 1], tour.seq[l]);
     clock += tour.tau_prime[l];
     tour.finish[l] = clock;
   }
@@ -34,14 +84,16 @@ void recompute_finish(const model::ChargingProblem& p, WorkTour& tour) {
 /// Travel detour of inserting sensor `u` right after position `pos`:
 /// d(seq[pos], u) + d(u, succ) - d(seq[pos], succ), where succ is the next
 /// stop (or the depot leg for the last position).
-double p_travel_after(const model::ChargingProblem& p, const WorkTour& tour,
+double p_travel_after(TravelCache& travel, const WorkTour& tour,
                       std::size_t pos, std::uint32_t u) {
   const std::uint32_t at = tour.seq[pos];
   if (pos + 1 < tour.seq.size()) {
     const std::uint32_t succ = tour.seq[pos + 1];
-    return p.travel(at, u) + p.travel(u, succ) - p.travel(at, succ);
+    return travel.travel(at, u) + travel.travel(u, succ) -
+           travel.travel(at, succ);
   }
-  return p.travel(at, u) + p.travel_depot(u) - p.travel_depot(at);
+  return travel.travel(at, u) + travel.travel_depot(u) -
+         travel.travel_depot(at);
 }
 
 }  // namespace
@@ -104,6 +156,11 @@ sched::ChargingPlan ApproScheduler::plan_with_stats(
   const tsp::SplitResult split =
       tsp::min_max_k_tours(tour_problem, k, options_.tour);
 
+  // Travel memo over the sensors the insertion phase can touch: every
+  // tour stop and every insertion candidate is a member of S_I.
+  std::vector<std::uint32_t> si_sensors(s_i.begin(), s_i.end());
+  TravelCache travel(problem, si_sensors);
+
   // Working tours over sensor ids, with tau' = tau (coverage disks of V'_H
   // nodes are pairwise disjoint, so nothing is double-counted initially).
   std::vector<WorkTour> tours(k);
@@ -116,7 +173,7 @@ sched::ChargingPlan ApproScheduler::plan_with_stats(
       for (std::uint32_t u : problem.coverage(sensor)) covered[u] = 1;
     }
     tours[t].finish.resize(tours[t].seq.size());
-    recompute_finish(problem, tours[t]);
+    recompute_finish(travel, tours[t]);
   }
 
   // Position lookup: for each sensor in a tour, (tour, index).
@@ -145,6 +202,11 @@ sched::ChargingPlan ApproScheduler::plan_with_stats(
   for (std::uint32_t i = 0; i < s_i.size(); ++i) {
     if (!in_vh[i]) pending.push_back(i);
   }
+
+  // Distinct placed tours among the current node's H-neighbors (Case (i)
+  // vs Case (ii) of the analysis); buffer reused across rounds.
+  std::vector<std::int32_t> seen_tours;
+  seen_tours.reserve(k);
 
   // f_N(u): max finish over u's H-neighbors that sit in a tour. Recomputed
   // on demand each round because insertions shift finish times.
@@ -195,15 +257,14 @@ sched::ChargingPlan ApproScheduler::plan_with_stats(
     std::int32_t best_tour = -1;
     std::size_t best_pos = 0;
     double best_key = -kInf;
-    std::size_t distinct_tours = 0;
-    std::int32_t seen_tour = -1;
+    seen_tours.clear();
     for (graph::Vertex nb : h.neighbors(hi)) {
       const std::uint32_t sensor = s_i[nb];
       const std::int32_t t = tour_of[sensor];
       if (t < 0) continue;
-      if (t != seen_tour) {
-        if (seen_tour == -1 || distinct_tours == 1) ++distinct_tours;
-        seen_tour = t;
+      if (std::find(seen_tours.begin(), seen_tours.end(), t) ==
+          seen_tours.end()) {
+        seen_tours.push_back(t);
       }
       const auto& wt = tours[static_cast<std::size_t>(t)];
       const std::size_t pos = pos_of[sensor];
@@ -214,7 +275,7 @@ sched::ChargingPlan ApproScheduler::plan_with_stats(
       } else {
         // Ablation: minimize the travel detour of inserting after `pos`
         // (maximize its negation).
-        const double to_u = p_travel_after(problem, wt, pos, u);
+        const double to_u = p_travel_after(travel, wt, pos, u);
         key = -to_u;
       }
       if (key > best_key) {
@@ -225,6 +286,9 @@ sched::ChargingPlan ApproScheduler::plan_with_stats(
     }
     MCHARGE_ASSERT(best_tour >= 0,
                    "u in S_I \\ V'_H must have a placed H-neighbor");
+    const std::size_t distinct_tours = seen_tours.size();
+    MCHARGE_ASSERT(distinct_tours >= 1,
+                   "a placed H-neighbor implies at least one distinct tour");
     if (distinct_tours <= 1) {
       ++local_stats.inserted_case_one;  // Case (i)
     } else {
@@ -239,7 +303,7 @@ sched::ChargingPlan ApproScheduler::plan_with_stats(
         tour.tau_prime.begin() + static_cast<std::ptrdiff_t>(insert_at),
         tau_prime_u);
     tour.finish.resize(tour.seq.size());
-    recompute_finish(problem, tour);
+    recompute_finish(travel, tour);
     index_tours(static_cast<std::size_t>(best_tour));
     for (std::uint32_t w : problem.coverage(u)) covered[w] = 1;
   }

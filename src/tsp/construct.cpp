@@ -16,11 +16,12 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
 // Internally the TSP runs over m+1 vertices: 0 is the depot, vertex v >= 1
-// is site v-1.
+// is site v-1. Distances are served from the problem's cache (the public
+// entry points ensure it below).
 double vertex_distance(const TourProblem& p, std::uint32_t a, std::uint32_t b) {
-  const geom::Point pa = a == 0 ? p.depot : p.sites[a - 1];
-  const geom::Point pb = b == 0 ? p.depot : p.sites[b - 1];
-  return geom::distance(pa, pb);
+  if (a == 0) return b == 0 ? 0.0 : p.distance_depot(b - 1);
+  if (b == 0) return p.distance_depot(a - 1);
+  return p.distance(a - 1, b - 1);
 }
 
 /// Converts a vertex cycle (containing vertex 0 exactly once after
@@ -62,16 +63,18 @@ std::vector<std::uint32_t> shortcut(const std::vector<std::uint32_t>& walk,
 
 Tour nearest_neighbor_tour(const TourProblem& problem) {
   const std::size_t m = problem.size();
+  problem.ensure_distance_cache();
   Tour tour;
   tour.reserve(m);
   std::vector<char> visited(m, 0);
-  geom::Point at = problem.depot;
+  std::int64_t at = -1;  // -1 = depot
   for (std::size_t step = 0; step < m; ++step) {
     double best = kInf;
     SiteId best_v = 0;
     for (SiteId v = 0; v < m; ++v) {
       if (visited[v]) continue;
-      const double d = geom::distance(at, problem.sites[v]);
+      const double d = at < 0 ? problem.distance_depot(v)
+                              : problem.distance(static_cast<SiteId>(at), v);
       if (d < best) {
         best = d;
         best_v = v;
@@ -79,7 +82,7 @@ Tour nearest_neighbor_tour(const TourProblem& problem) {
     }
     visited[best_v] = 1;
     tour.push_back(best_v);
-    at = problem.sites[best_v];
+    at = best_v;
   }
   return tour;
 }
@@ -88,6 +91,7 @@ Tour greedy_edge_tour(const TourProblem& problem) {
   const std::size_t n = problem.size() + 1;  // vertices incl. depot
   if (problem.size() == 0) return {};
   if (problem.size() == 1) return {0};
+  problem.ensure_distance_cache();
 
   // Sort all vertex pairs by distance; accept an edge if both endpoints
   // have degree < 2 and it does not close a subtour prematurely.
@@ -140,6 +144,7 @@ Tour greedy_edge_tour(const TourProblem& problem) {
 Tour double_tree_tour(const TourProblem& problem) {
   const std::size_t n = problem.size() + 1;
   if (problem.size() == 0) return {};
+  problem.ensure_distance_cache();
   auto mst = graph::prim_mst(n, [&](std::uint32_t a, std::uint32_t b) {
     return vertex_distance(problem, a, b);
   });
@@ -157,6 +162,7 @@ Tour christofides_tour(const TourProblem& problem) {
   const std::size_t n = problem.size() + 1;
   if (problem.size() == 0) return {};
   if (problem.size() == 1) return {0};
+  problem.ensure_distance_cache();
 
   auto mst = graph::prim_mst(n, [&](std::uint32_t a, std::uint32_t b) {
     return vertex_distance(problem, a, b);

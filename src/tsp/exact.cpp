@@ -30,6 +30,7 @@ struct HeldKarp {
 HeldKarp solve(const TourProblem& p) {
   const std::size_t m = p.size();
   MCHARGE_ASSERT(m <= kHeldKarpLimit, "Held-Karp limited to 20 sites");
+  p.ensure_distance_cache();
   HeldKarp hk;
   hk.m = m;
   const std::size_t states = (std::size_t{1} << m) * m;

@@ -60,6 +60,7 @@ SplitResult split_min_max(const TourProblem& problem, const Tour& tour,
   MCHARGE_ASSERT(k >= 1, "split requires k >= 1");
   MCHARGE_ASSERT(is_complete_tour(problem, tour),
                  "split requires a complete tour");
+  problem.ensure_distance_cache();
   SplitResult result;
   if (tour.empty()) {
     result.tours.assign(k, Tour{});
@@ -106,6 +107,9 @@ SplitResult min_max_k_tours(const TourProblem& problem, std::size_t k,
     r.tours.assign(k, Tour{});
     return r;
   }
+  // One O(m^2) distance build serves construction, improvement, and
+  // splitting below; every travel() call after this is a table read.
+  problem.ensure_distance_cache();
   Tour tour = build_tour(problem, options.builder);
   improve_tour(problem, tour, options.improve);
   SplitResult result = split_min_max(problem, tour, k);

@@ -6,6 +6,32 @@
 
 namespace mcharge::tsp {
 
+void TourProblem::ensure_distance_cache() const {
+  if (has_distance_cache()) return;
+  const std::size_t m = sites.size();
+  if (m == 0) {
+    drop_distance_cache();
+    return;
+  }
+  depot_dist_.resize(m);
+  site_dist_.assign(m * m, 0.0);
+  for (std::size_t a = 0; a < m; ++a) {
+    depot_dist_[a] = geom::distance(depot, sites[a]);
+    // Fill both triangles from one computation so the matrix is exactly
+    // symmetric (geom::distance is, but this makes it structural).
+    for (std::size_t b = a + 1; b < m; ++b) {
+      const double d = geom::distance(sites[a], sites[b]);
+      site_dist_[a * m + b] = d;
+      site_dist_[b * m + a] = d;
+    }
+  }
+}
+
+void TourProblem::drop_distance_cache() const {
+  site_dist_.clear();
+  depot_dist_.clear();
+}
+
 void TourProblem::check() const {
   MCHARGE_ASSERT(service.size() == sites.size(),
                  "one service time per site required");

@@ -27,18 +27,45 @@ struct TourProblem {
 
   std::size_t size() const { return sites.size(); }
 
-  /// Travel time between two sites.
-  double travel(SiteId a, SiteId b) const {
-    return geom::distance(sites[a], sites[b]) / speed;
+  /// Euclidean distance between two sites, read from the distance cache
+  /// when one is built (bitwise-identical either way).
+  double distance(SiteId a, SiteId b) const {
+    if (!site_dist_.empty()) return site_dist_[a * sites.size() + b];
+    return geom::distance(sites[a], sites[b]);
   }
+  /// Euclidean distance between the depot and a site.
+  double distance_depot(SiteId a) const {
+    if (!depot_dist_.empty()) return depot_dist_[a];
+    return geom::distance(depot, sites[a]);
+  }
+
+  /// Travel time between two sites.
+  double travel(SiteId a, SiteId b) const { return distance(a, b) / speed; }
   /// Travel time between the depot and a site.
-  double travel_depot(SiteId a) const {
-    return geom::distance(depot, sites[a]) / speed;
+  double travel_depot(SiteId a) const { return distance_depot(a) / speed; }
+
+  /// Builds the O(m^2) symmetric site-distance matrix and the depot
+  /// distance vector if absent (or stale in size after sites changed).
+  /// The tour algorithms (construct / split / exact entry points) call
+  /// this themselves; direct users of two_opt / or_opt opt in explicitly.
+  /// Mutating `sites` or `depot` in place invalidates the cache — call
+  /// drop_distance_cache() first. Not safe to call concurrently on a
+  /// shared instance; build before handing the problem to other threads.
+  void ensure_distance_cache() const;
+  /// Discards the cache; travel queries fall back to on-the-fly geometry.
+  void drop_distance_cache() const;
+  bool has_distance_cache() const {
+    return site_dist_.size() == sites.size() * sites.size() &&
+           depot_dist_.size() == sites.size() && !sites.empty();
   }
 
   /// Validates invariants (matching vector sizes, positive speed,
   /// non-negative service). Aborts on violation.
   void check() const;
+
+ private:
+  mutable std::vector<double> site_dist_;   ///< m*m, row-major, symmetric
+  mutable std::vector<double> depot_dist_;  ///< m
 };
 
 /// Total delay of a closed tour: travel (incl. both depot legs) + service.

@@ -1,0 +1,75 @@
+// Fixed-size thread pool and a parallel_for primitive for embarrassingly
+// parallel work (independent simulations, benchmark sweeps).
+//
+// Design rules that keep parallel runs bit-identical to serial runs:
+//  * callers decompose work into independent items indexed 0..n-1 and
+//    write each item's result into a preallocated slot for that index;
+//  * any randomness is seeded per item (see derive_seed in util/rng.h),
+//    never drawn from a stream shared across items;
+//  * reductions over the slots happen after parallel_for returns, in
+//    index order, on the calling thread.
+// Under those rules the number of worker threads cannot influence any
+// result, only the wall-clock time.
+#pragma once
+
+#include <cstddef>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mcharge {
+
+/// Worker count used when a caller passes jobs = 0: the hardware
+/// concurrency, with a floor of 1 (hardware_concurrency may report 0).
+std::size_t default_jobs();
+
+/// A fixed-size pool of worker threads draining a FIFO task queue.
+/// Tasks must not throw; wrap throwing work (parallel_for does this and
+/// rethrows the first exception on the caller).
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least 1).
+  explicit ThreadPool(std::size_t threads);
+  /// Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task. Must not be called after the destructor has begun.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is executing.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   ///< signals workers: queue or stop
+  std::condition_variable idle_cv_;   ///< signals wait_idle: all drained
+  std::size_t active_ = 0;            ///< tasks currently executing
+  bool stop_ = false;
+};
+
+/// Runs fn(i) for every i in [0, n) exactly once, across up to `jobs`
+/// worker threads (jobs = 0 means default_jobs()). With jobs <= 1 the
+/// loop runs inline on the calling thread — no pool, no synchronization —
+/// which is the reference serial behavior.
+///
+/// Items are claimed dynamically (an atomic counter), so the mapping of
+/// items to threads is nondeterministic; see the header comment for the
+/// rules that make results deterministic anyway. If any fn(i) throws, no
+/// new items are started and the first exception (by completion time) is
+/// rethrown on the calling thread after all workers stop.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  std::size_t jobs = 0);
+
+}  // namespace mcharge

@@ -22,6 +22,17 @@ constexpr std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+/// Derives the seed for independent work item `item` from a base seed:
+/// the splitmix64 hash of the item's position in the base stream. Every
+/// (base, item) pair yields a statistically independent stream, and the
+/// derivation depends only on the pair — not on how many items run, in
+/// what order, or on which thread — so parallel sweeps that seed each
+/// work item this way are bit-identical to serial ones.
+constexpr std::uint64_t derive_seed(std::uint64_t base, std::uint64_t item) {
+  std::uint64_t state = base + item * 0x9e3779b97f4a7c15ULL;
+  return splitmix64(state);
+}
+
 /// xoshiro256** pseudo-random generator. Satisfies the needs of simulation
 /// work (fast, 256-bit state, passes BigCrush); not cryptographic.
 class Rng {

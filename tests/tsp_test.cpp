@@ -385,5 +385,110 @@ TEST(MinMaxKTours, SegmentImproveNeverHurts) {
   EXPECT_LE(a.max_delay, b.max_delay + 1e-9);
 }
 
+// ---------- distance cache ----------
+
+TEST(DistanceCache, MatchesOnTheFlyGeometryBitwise) {
+  Rng rng(51);
+  const TourProblem p = random_problem(60, rng);
+  ASSERT_FALSE(p.has_distance_cache());
+  // Record the uncached answers, then build the cache and re-query.
+  std::vector<double> travel_before, depot_before;
+  for (SiteId a = 0; a < p.size(); ++a) {
+    depot_before.push_back(p.travel_depot(a));
+    for (SiteId b = 0; b < p.size(); ++b) {
+      travel_before.push_back(p.travel(a, b));
+    }
+  }
+  p.ensure_distance_cache();
+  ASSERT_TRUE(p.has_distance_cache());
+  std::size_t idx = 0;
+  for (SiteId a = 0; a < p.size(); ++a) {
+    EXPECT_EQ(p.travel_depot(a), depot_before[a]);
+    for (SiteId b = 0; b < p.size(); ++b) {
+      EXPECT_EQ(p.travel(a, b), travel_before[idx++]);  // bitwise
+    }
+  }
+}
+
+TEST(DistanceCache, SymmetricAndZeroDiagonal) {
+  Rng rng(52);
+  const TourProblem p = random_problem(30, rng);
+  p.ensure_distance_cache();
+  for (SiteId a = 0; a < p.size(); ++a) {
+    EXPECT_EQ(p.distance(a, a), 0.0);
+    for (SiteId b = a + 1; b < p.size(); ++b) {
+      EXPECT_EQ(p.distance(a, b), p.distance(b, a));
+    }
+  }
+}
+
+TEST(DistanceCache, DropRestoresOnTheFlyPath) {
+  Rng rng(53);
+  const TourProblem p = random_problem(10, rng);
+  p.ensure_distance_cache();
+  ASSERT_TRUE(p.has_distance_cache());
+  p.drop_distance_cache();
+  EXPECT_FALSE(p.has_distance_cache());
+  EXPECT_EQ(p.travel(0, 1), geom::distance(p.sites[0], p.sites[1]) / p.speed);
+}
+
+TEST(DistanceCache, StaleSizeIsRebuilt) {
+  Rng rng(54);
+  TourProblem p = random_problem(10, rng);
+  p.ensure_distance_cache();
+  p.sites.push_back({1.0, 2.0});
+  p.service.push_back(0.0);
+  EXPECT_FALSE(p.has_distance_cache());  // size mismatch = stale
+  p.ensure_distance_cache();
+  ASSERT_TRUE(p.has_distance_cache());
+  EXPECT_EQ(p.distance(0, 10), geom::distance(p.sites[0], p.sites[10]));
+}
+
+TEST(DistanceCache, TwoOptIdenticalWithAndWithoutCache) {
+  Rng rng(55);
+  const TourProblem uncached = random_problem(80, rng);
+  TourProblem cached = uncached;
+  cached.ensure_distance_cache();
+
+  Tour tour_uncached = nearest_neighbor_tour(uncached);
+  // nearest_neighbor_tour builds the cache on its own problem; rebuild the
+  // uncached starting tour without one to keep that path honest too.
+  uncached.drop_distance_cache();
+  Tour tour_cached = tour_uncached;
+
+  const double saved_uncached = two_opt(uncached, tour_uncached);
+  const double saved_cached = two_opt(cached, tour_cached);
+  EXPECT_EQ(saved_uncached, saved_cached);  // bitwise-identical gains
+  EXPECT_EQ(tour_uncached, tour_cached);    // identical final tours
+}
+
+TEST(DistanceCache, OrOptIdenticalWithAndWithoutCache) {
+  Rng rng(56);
+  const TourProblem uncached = random_problem(80, rng);
+  TourProblem cached = uncached;
+  cached.ensure_distance_cache();
+
+  Tour base = nearest_neighbor_tour(cached);
+  uncached.drop_distance_cache();
+  Tour tour_uncached = base;
+  Tour tour_cached = base;
+
+  const double saved_uncached = or_opt(uncached, tour_uncached);
+  const double saved_cached = or_opt(cached, tour_cached);
+  EXPECT_EQ(saved_uncached, saved_cached);
+  EXPECT_EQ(tour_uncached, tour_cached);
+}
+
+TEST(DistanceCache, MinMaxKToursIdenticalWithPrebuiltCache) {
+  Rng rng(57);
+  const TourProblem fresh = random_problem(60, rng, 200.0);
+  TourProblem prebuilt = fresh;
+  prebuilt.ensure_distance_cache();
+  const auto a = min_max_k_tours(fresh, 3);     // builds its cache inside
+  const auto b = min_max_k_tours(prebuilt, 3);  // reuses the prebuilt one
+  EXPECT_EQ(a.max_delay, b.max_delay);
+  EXPECT_EQ(a.tours, b.tours);
+}
+
 }  // namespace
 }  // namespace mcharge::tsp
