@@ -14,20 +14,14 @@ int main(int argc, char** argv) {
   const auto n_step = static_cast<std::size_t>(flags.get_int("nstep", 200));
   const auto k = static_cast<std::size_t>(flags.get_int("chargers", 2));
 
-  const auto algorithms = bench::paper_algorithms();
-  std::vector<std::string> labels;
-  std::vector<bench::PointResult> points;
+  bench::FigureSweep sweep("Fig. 3", "n", settings);
   for (std::size_t n = n_min; n <= n_max; n += n_step) {
     std::fprintf(stderr, "fig3: n = %zu ...\n", n);
     model::NetworkConfig config;
     config.num_chargers = k;
-    points.push_back(bench::run_point(
-        settings, algorithms,
-        [&](Rng& rng) {
-          return model::make_instance(config, n, rng, settings.layout);
-        }));
-    labels.push_back(std::to_string(n));
+    sweep.add_point(std::to_string(n), [&](Rng& rng) {
+      return model::make_instance(config, n, rng, settings.layout);
+    });
   }
-  bench::emit_figure("Fig. 3", "n", labels, algorithms, points, settings);
-  return 0;
+  return sweep.finish();
 }

@@ -13,22 +13,15 @@ int main(int argc, char** argv) {
   const auto n = static_cast<std::size_t>(flags.get_int("n", 1000));
   const auto k = static_cast<std::size_t>(flags.get_int("chargers", 2));
 
-  const auto algorithms = bench::paper_algorithms();
-  std::vector<std::string> labels;
-  std::vector<bench::PointResult> points;
+  bench::FigureSweep sweep("Fig. 4", "b_max_kbps", settings);
   for (int bmax_kbps = 10; bmax_kbps <= 50; bmax_kbps += 10) {
     std::fprintf(stderr, "fig4: b_max = %d kbps ...\n", bmax_kbps);
     model::NetworkConfig config;
     config.num_chargers = k;
     config.rate_max_bps = bmax_kbps * 1e3;
-    points.push_back(bench::run_point(
-        settings, algorithms,
-        [&](Rng& rng) {
-          return model::make_instance(config, n, rng, settings.layout);
-        }));
-    labels.push_back(std::to_string(bmax_kbps));
+    sweep.add_point(std::to_string(bmax_kbps), [&](Rng& rng) {
+      return model::make_instance(config, n, rng, settings.layout);
+    });
   }
-  bench::emit_figure("Fig. 4", "b_max_kbps", labels, algorithms, points,
-                     settings);
-  return 0;
+  return sweep.finish();
 }

@@ -12,20 +12,14 @@ int main(int argc, char** argv) {
   const auto n = static_cast<std::size_t>(flags.get_int("n", 1000));
   const auto k_max = static_cast<std::size_t>(flags.get_int("kmax", 5));
 
-  const auto algorithms = bench::paper_algorithms();
-  std::vector<std::string> labels;
-  std::vector<bench::PointResult> points;
+  bench::FigureSweep sweep("Fig. 5", "K", settings);
   for (std::size_t k = 1; k <= k_max; ++k) {
     std::fprintf(stderr, "fig5: K = %zu ...\n", k);
     model::NetworkConfig config;
     config.num_chargers = k;
-    points.push_back(bench::run_point(
-        settings, algorithms,
-        [&](Rng& rng) {
-          return model::make_instance(config, n, rng, settings.layout);
-        }));
-    labels.push_back(std::to_string(k));
+    sweep.add_point(std::to_string(k), [&](Rng& rng) {
+      return model::make_instance(config, n, rng, settings.layout);
+    });
   }
-  bench::emit_figure("Fig. 5", "K", labels, algorithms, points, settings);
-  return 0;
+  return sweep.finish();
 }

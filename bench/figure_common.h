@@ -14,13 +14,22 @@
 //   --jobs=N        worker threads; 0 = all hardware threads (default),
 //                   1 = serial. Output is byte-identical for every N.
 //   --csv=PREFIX    also write PREFIX_a.csv / PREFIX_b.csv
+//   --shard=i/N     run only work items with global index = i mod N and
+//                   write a chunk file instead of tables (requires --chunk).
+//                   Merging the N chunks with merge_shards reproduces the
+//                   unsharded output byte for byte.
+//   --chunk=PATH    chunk file path for --shard mode
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "shard_chunk.h"
 
 #include "baselines/aa.h"
 #include "baselines/kedf.h"
@@ -57,6 +66,12 @@ struct SweepSettings {
   /// Sensor placement. The paper uses uniform; --layout=clustered/grid
   /// checks that the conclusions survive other deployment shapes.
   model::FieldLayout layout = model::FieldLayout::kUniform;
+  /// Sharding (--shard=i/N): this process computes only the work items
+  /// whose global index (across all sweep points) is i mod N, and writes
+  /// them to `chunk_path` for merge_shards. 1 = unsharded.
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  std::string chunk_path;
 
   static SweepSettings from_flags(const CliFlags& flags) {
     SweepSettings s;
@@ -68,6 +83,21 @@ struct SweepSettings {
     const std::string layout = flags.get("layout", "uniform");
     if (layout == "clustered") s.layout = model::FieldLayout::kClustered;
     if (layout == "grid") s.layout = model::FieldLayout::kGrid;
+    const std::string shard = flags.get("shard", "");
+    if (!shard.empty()) {
+      if (std::sscanf(shard.c_str(), "%zu/%zu", &s.shard_index,
+                      &s.shard_count) != 2 ||
+          s.shard_count == 0 || s.shard_index >= s.shard_count) {
+        std::fprintf(stderr, "bad --shard=%s (want i/N with 0 <= i < N)\n",
+                     shard.c_str());
+        std::exit(2);
+      }
+      s.chunk_path = flags.get("chunk", "");
+      if (s.shard_count > 1 && s.chunk_path.empty()) {
+        std::fprintf(stderr, "--shard requires --chunk=PATH\n");
+        std::exit(2);
+      }
+    }
     return s;
   }
 };
@@ -82,47 +112,77 @@ struct PointResult {
   std::size_t violations = 0;
 };
 
+/// Raw simulator output of one (instance, algorithm) work item. `present`
+/// is false for items assigned to other shards.
+struct ItemSample {
+  double tour = 0.0;
+  double dead = 0.0;
+  std::size_t violations = 0;
+  bool present = false;
+};
+
+/// Runs the work items of one sweep point and returns the raw per-item
+/// samples (instances * num_algos slots, instance-major).
+///
+/// One work item per (instance, algorithm) pair: the item regenerates
+/// its instance from a seed derived only from the instance index (all
+/// algorithms see the same instance, and no state crosses items), runs
+/// the year-long simulation, and records into its own slot. The mapping
+/// of items to threads therefore cannot influence any number. Under
+/// --shard=i/N, items whose global index (point_idx * items-per-point +
+/// local index) is not congruent to i are skipped and left absent.
 template <typename MakeInstance>
-PointResult run_point(const SweepSettings& settings,
-                      const std::vector<sched::SchedulerPtr>& algorithms,
-                      MakeInstance&& make_instance) {
+std::vector<ItemSample> run_point_samples(
+    const SweepSettings& settings,
+    const std::vector<sched::SchedulerPtr>& algorithms,
+    MakeInstance&& make_instance, std::size_t point_idx = 0) {
   sim::SimConfig sim_config;
   sim_config.monitoring_period_s = settings.months * 30.0 * 86400.0;
 
-  // One work item per (instance, algorithm) pair: the item regenerates
-  // its instance from a seed derived only from the instance index (all
-  // algorithms see the same instance, and no state crosses items), runs
-  // the year-long simulation, and records into its own slot. The mapping
-  // of items to threads therefore cannot influence any number.
   const std::size_t num_algos = algorithms.size();
-  struct ItemResult {
-    RunningStats tour, dead;
-    std::size_t violations = 0;
-  };
-  std::vector<ItemResult> items(settings.instances * num_algos);
+  const std::size_t stride = settings.instances * num_algos;
+  std::vector<ItemSample> items(stride);
   parallel_for(
       items.size(),
       [&](std::size_t idx) {
+        if (settings.shard_count > 1 &&
+            (point_idx * stride + idx) % settings.shard_count !=
+                settings.shard_index) {
+          return;
+        }
         const std::size_t inst = idx / num_algos;
         const std::size_t a = idx % num_algos;
         Rng rng(derive_seed(settings.seed, inst));
         const model::WrsnInstance instance = make_instance(rng);
         const auto r = sim::simulate(instance, *algorithms[a], sim_config);
-        items[idx].tour.add(r.mean_longest_delay_hours());
-        items[idx].dead.add(r.mean_dead_minutes_per_sensor);
+        items[idx].tour = r.mean_longest_delay_hours();
+        items[idx].dead = r.mean_dead_minutes_per_sensor;
         items[idx].violations = r.verify_violations;
+        items[idx].present = true;
       },
       settings.jobs);
+  return items;
+}
 
-  // Deterministic reduction on the calling thread, in instance order.
+/// Deterministic single-threaded reduction of a point's samples, in
+/// instance order. Shared by the unsharded path and merge_shards, so the
+/// merged figures are byte-identical by construction: each item
+/// contributed exactly one sample, and rebuilding a one-sample
+/// RunningStats from the stored double reproduces its state exactly.
+inline PointResult reduce_point(const SweepSettings& settings,
+                                std::size_t num_algos,
+                                const std::vector<ItemSample>& items) {
   std::vector<RunningStats> tour(num_algos);
   std::vector<RunningStats> dead(num_algos);
   PointResult result;
   for (std::size_t inst = 0; inst < settings.instances; ++inst) {
     for (std::size_t a = 0; a < num_algos; ++a) {
-      const ItemResult& item = items[inst * num_algos + a];
-      tour[a].merge(item.tour);
-      dead[a].merge(item.dead);
+      const ItemSample& item = items[inst * num_algos + a];
+      RunningStats item_tour, item_dead;
+      item_tour.add(item.tour);
+      item_dead.add(item.dead);
+      tour[a].merge(item_tour);
+      dead[a].merge(item_dead);
       result.violations += item.violations;
     }
   }
@@ -135,19 +195,37 @@ PointResult run_point(const SweepSettings& settings,
   return result;
 }
 
+template <typename MakeInstance>
+PointResult run_point(const SweepSettings& settings,
+                      const std::vector<sched::SchedulerPtr>& algorithms,
+                      MakeInstance&& make_instance) {
+  return reduce_point(
+      settings, algorithms.size(),
+      run_point_samples(settings, algorithms, make_instance));
+}
+
+inline std::vector<std::string> algorithm_names(
+    const std::vector<sched::SchedulerPtr>& algorithms) {
+  std::vector<std::string> names;
+  names.reserve(algorithms.size());
+  for (const auto& a : algorithms) names.push_back(a->name());
+  return names;
+}
+
 /// Prints the two series ((a) tour duration, (b) dead duration) and
-/// optionally writes CSVs.
+/// optionally writes CSVs. Takes algorithm names rather than scheduler
+/// instances so merge_shards can emit figures from chunk headers alone.
 inline void emit_figure(const std::string& figure, const std::string& knob,
                         const std::vector<std::string>& knob_values,
-                        const std::vector<sched::SchedulerPtr>& algorithms,
+                        const std::vector<std::string>& algo_names,
                         const std::vector<PointResult>& points,
                         const SweepSettings& settings) {
   std::vector<std::string> headers{knob};
-  for (const auto& a : algorithms) headers.push_back(a->name());
+  for (const auto& name : algo_names) headers.push_back(name);
   // Both outputs also carry per-algorithm stddev columns (across the
   // replicated instances) so plots can show error bars.
   std::vector<std::string> csv_headers = headers;
-  for (const auto& a : algorithms) csv_headers.push_back(a->name() + "_sd");
+  for (const auto& name : algo_names) csv_headers.push_back(name + "_sd");
 
   Table tour(csv_headers);
   Table dead(csv_headers);
@@ -182,5 +260,81 @@ inline void emit_figure(const std::string& figure, const std::string& knob,
                 settings.csv_prefix.c_str(), settings.csv_prefix.c_str());
   }
 }
+
+/// Drives a whole figure sweep: the bench main adds one point per knob
+/// value, then finish() either prints the figure (unsharded) or writes
+/// this shard's chunk file for merge_shards.
+class FigureSweep {
+ public:
+  FigureSweep(std::string figure, std::string knob, SweepSettings settings)
+      : figure_(std::move(figure)),
+        knob_(std::move(knob)),
+        settings_(std::move(settings)),
+        algorithms_(paper_algorithms()) {}
+
+  const SweepSettings& settings() const { return settings_; }
+  const std::vector<sched::SchedulerPtr>& algorithms() const {
+    return algorithms_;
+  }
+
+  template <typename MakeInstance>
+  void add_point(std::string label, MakeInstance&& make_instance) {
+    samples_.push_back(run_point_samples(settings_, algorithms_,
+                                         make_instance, samples_.size()));
+    labels_.push_back(std::move(label));
+  }
+
+  /// Emits the figure (or the chunk). Returns the process exit code.
+  int finish() const {
+    if (settings_.shard_count > 1) return write_shard_chunk();
+    std::vector<PointResult> points;
+    points.reserve(samples_.size());
+    for (const auto& s : samples_) {
+      points.push_back(reduce_point(settings_, algorithms_.size(), s));
+    }
+    emit_figure(figure_, knob_, labels_, algorithm_names(algorithms_), points,
+                settings_);
+    return 0;
+  }
+
+ private:
+  int write_shard_chunk() const {
+    ChunkFile chunk;
+    chunk.figure = figure_;
+    chunk.knob = knob_;
+    chunk.seed = settings_.seed;
+    chunk.instances = settings_.instances;
+    chunk.months = settings_.months;
+    chunk.shard_index = settings_.shard_index;
+    chunk.shard_count = settings_.shard_count;
+    chunk.algo_names = algorithm_names(algorithms_);
+    chunk.labels = labels_;
+    for (std::size_t p = 0; p < samples_.size(); ++p) {
+      for (std::size_t idx = 0; idx < samples_[p].size(); ++idx) {
+        const ItemSample& item = samples_[p][idx];
+        if (!item.present) continue;
+        chunk.items.push_back({p, idx / algorithms_.size(),
+                               idx % algorithms_.size(), item.tour, item.dead,
+                               item.violations});
+      }
+    }
+    if (!write_chunk(settings_.chunk_path, chunk)) {
+      std::fprintf(stderr, "cannot write chunk file %s\n",
+                   settings_.chunk_path.c_str());
+      return 1;
+    }
+    std::printf("shard %zu/%zu: %zu item(s) -> %s\n", settings_.shard_index,
+                settings_.shard_count, chunk.items.size(),
+                settings_.chunk_path.c_str());
+    return 0;
+  }
+
+  std::string figure_;
+  std::string knob_;
+  SweepSettings settings_;
+  std::vector<sched::SchedulerPtr> algorithms_;
+  std::vector<std::string> labels_;
+  std::vector<std::vector<ItemSample>> samples_;
+};
 
 }  // namespace mcharge::bench

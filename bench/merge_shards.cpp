@@ -1,0 +1,118 @@
+// Merges --shard=i/N chunk files from a figure bench back into the
+// figure output. Usage:
+//
+//   merge_shards [--csv=PREFIX] chunk0 chunk1 ... chunkN-1
+//
+// The merged stdout is byte-identical to the unsharded bench run with the
+// same settings: the chunks carry the raw per-item simulator doubles in
+// hexfloat (exact round-trip), and this tool replays the same
+// instance-order reduction (bench::reduce_point) and table printer
+// (bench::emit_figure) the bench itself uses.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "figure_common.h"
+#include "shard_chunk.h"
+
+int main(int argc, char** argv) {
+  using namespace mcharge;
+  const CliFlags flags(argc, argv);
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) != 0) paths.emplace_back(argv[i]);
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr,
+                 "usage: merge_shards [--csv=PREFIX] chunk0 chunk1 ...\n");
+    return 2;
+  }
+
+  std::vector<bench::ChunkFile> chunks(paths.size());
+  std::string error;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    if (!bench::read_chunk(paths[i], &chunks[i], &error)) {
+      std::fprintf(stderr, "merge_shards: %s\n", error.c_str());
+      return 1;
+    }
+  }
+
+  // Every chunk must come from the same sweep (same figure, settings and
+  // point grid), and together they must cover each shard exactly once.
+  const bench::ChunkFile& head = chunks.front();
+  std::vector<char> shard_seen(head.shard_count, 0);
+  for (const auto& c : chunks) {
+    if (c.figure != head.figure || c.knob != head.knob ||
+        c.seed != head.seed || c.instances != head.instances ||
+        c.months != head.months || c.shard_count != head.shard_count ||
+        c.algo_names != head.algo_names || c.labels != head.labels) {
+      std::fprintf(stderr,
+                   "merge_shards: chunks disagree on sweep settings "
+                   "(mixing different runs?)\n");
+      return 1;
+    }
+    if (c.shard_index >= c.shard_count || shard_seen[c.shard_index]) {
+      std::fprintf(stderr, "merge_shards: duplicate or bad shard %zu/%zu\n",
+                   c.shard_index, c.shard_count);
+      return 1;
+    }
+    shard_seen[c.shard_index] = 1;
+  }
+  for (std::size_t s = 0; s < head.shard_count; ++s) {
+    if (!shard_seen[s]) {
+      std::fprintf(stderr, "merge_shards: shard %zu/%zu missing\n", s,
+                   head.shard_count);
+      return 1;
+    }
+  }
+
+  const std::size_t num_algos = head.algo_names.size();
+  const std::size_t num_points = head.labels.size();
+  const std::size_t stride = head.instances * num_algos;
+  std::vector<std::vector<bench::ItemSample>> samples(
+      num_points, std::vector<bench::ItemSample>(stride));
+  for (const auto& c : chunks) {
+    for (const bench::ChunkItem& it : c.items) {
+      if (it.point >= num_points || it.inst >= head.instances ||
+          it.algo >= num_algos) {
+        std::fprintf(stderr, "merge_shards: item out of range\n");
+        return 1;
+      }
+      bench::ItemSample& slot = samples[it.point][it.inst * num_algos + it.algo];
+      if (slot.present) {
+        std::fprintf(stderr,
+                     "merge_shards: duplicate item (point %zu, instance "
+                     "%zu, algorithm %zu)\n",
+                     it.point, it.inst, it.algo);
+        return 1;
+      }
+      slot = {it.tour, it.dead, it.violations, true};
+    }
+  }
+  for (std::size_t p = 0; p < num_points; ++p) {
+    for (std::size_t idx = 0; idx < stride; ++idx) {
+      if (!samples[p][idx].present) {
+        std::fprintf(stderr,
+                     "merge_shards: missing item (point %zu, instance %zu, "
+                     "algorithm %zu)\n",
+                     p, idx / num_algos, idx % num_algos);
+        return 1;
+      }
+    }
+  }
+
+  bench::SweepSettings settings;
+  settings.instances = head.instances;
+  settings.months = head.months;
+  settings.seed = head.seed;
+  settings.csv_prefix = flags.get("csv", "");
+  std::vector<bench::PointResult> points;
+  points.reserve(num_points);
+  for (const auto& s : samples) {
+    points.push_back(bench::reduce_point(settings, num_algos, s));
+  }
+  bench::emit_figure(head.figure, head.knob, head.labels, head.algo_names,
+                     points, settings);
+  return 0;
+}

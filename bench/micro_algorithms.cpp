@@ -24,6 +24,7 @@
 #include "tsp/improve.h"
 #include "tsp/split.h"
 #include "util/rng.h"
+#include "util/simd.h"
 
 namespace {
 
@@ -146,7 +147,7 @@ void BM_TwoOpt(benchmark::State& state) {
     benchmark::DoNotOptimize(tsp::two_opt(p, tour));
   }
 }
-BENCHMARK(BM_TwoOpt)->Arg(50)->Arg(150)->Arg(350);
+BENCHMARK(BM_TwoOpt)->Arg(50)->Arg(150)->Arg(350)->Arg(1200);
 
 void BM_TwoOptCached(benchmark::State& state) {
   // Identical workload to BM_TwoOpt, but served from the precomputed
@@ -161,7 +162,7 @@ void BM_TwoOptCached(benchmark::State& state) {
     benchmark::DoNotOptimize(tsp::two_opt(p, tour));
   }
 }
-BENCHMARK(BM_TwoOptCached)->Arg(50)->Arg(150)->Arg(350);
+BENCHMARK(BM_TwoOptCached)->Arg(50)->Arg(150)->Arg(350)->Arg(1200);
 
 void BM_OrOpt(benchmark::State& state) {
   const auto p =
@@ -196,7 +197,49 @@ void BM_DistanceCacheBuild(benchmark::State& state) {
     benchmark::DoNotOptimize(p.distance(0, 1));
   }
 }
-BENCHMARK(BM_DistanceCacheBuild)->Arg(50)->Arg(150)->Arg(350);
+BENCHMARK(BM_DistanceCacheBuild)->Arg(50)->Arg(150)->Arg(350)->Arg(1200);
+
+// Raw kernel throughput of the SIMD layer (util/simd.h), independent of
+// the TourProblem plumbing. The active backend is whatever dispatch
+// picked (override with MCHARGE_SIMD=scalar|avx2|avx512 to compare).
+
+void BM_SimdDistanceMatrix(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<double> xs(m), ys(m), out(m * m);
+  for (std::size_t i = 0; i < m; ++i) {
+    xs[i] = rng.uniform(0.0, 100.0);
+    ys[i] = rng.uniform(0.0, 100.0);
+  }
+  for (auto _ : state) {
+    simd::distance_matrix(xs.data(), ys.data(), m, out.data());
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetLabel(simd::backend_name(simd::active_backend()));
+}
+BENCHMARK(BM_SimdDistanceMatrix)->Arg(350)->Arg(1200);
+
+void BM_SimdArgminScan(benchmark::State& state) {
+  // Fused distance + lowest-index argmin against a fixed query point, the
+  // inner step of nearest_neighbor_tour and the assignment sweeps.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(8);
+  std::vector<double> xs(n), ys(n);
+  std::vector<unsigned char> skip(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = rng.uniform(0.0, 100.0);
+    ys[i] = rng.uniform(0.0, 100.0);
+    skip[i] = rng.uniform(0.0, 1.0) < 0.5 ? 1 : 0;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        simd::argmin_distance_masked(xs.data(), ys.data(), n, 50.0, 50.0,
+                                     skip.data()));
+  }
+  state.SetLabel(simd::backend_name(simd::active_backend()));
+}
+BENCHMARK(BM_SimdArgminScan)->Arg(350)->Arg(1200);
 
 void BM_MinMaxKTours(benchmark::State& state) {
   const auto p = make_tour_problem(300, 8);

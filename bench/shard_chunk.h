@@ -1,0 +1,157 @@
+// Shard-chunk files for the figure benches.
+//
+// A figure sweep run with --shard=i/N computes only the (point, instance,
+// algorithm) work items whose global index is congruent to i mod N and
+// writes the raw per-item simulator outputs to a chunk file instead of
+// printing tables. merge_shards reads the N chunks, replays the exact
+// deterministic reduction the unsharded bench performs (instance-order
+// RunningStats merges), and emits the figure — byte-identical to the
+// unsharded stdout, because the per-item doubles round-trip exactly
+// through the %a hexfloat encoding and the reduction code is shared.
+//
+// Format (text, line-based, tab after the keyword):
+//   mcharge-chunk	1
+//   figure	Fig. 3
+//   knob	n
+//   seed	1
+//   instances	10
+//   months	0x1.8p+3
+//   shard	0/4
+//   algo	Appro            (one line per algorithm, in order)
+//   label	200              (one line per sweep point, in order)
+//   item	p inst a tour dead violations   (tour/dead in %a)
+//   end	42               (item count, as a truncation guard)
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace mcharge::bench {
+
+struct ChunkItem {
+  std::size_t point = 0;
+  std::size_t inst = 0;
+  std::size_t algo = 0;
+  double tour = 0.0;
+  double dead = 0.0;
+  std::size_t violations = 0;
+};
+
+struct ChunkFile {
+  std::string figure;
+  std::string knob;
+  std::uint64_t seed = 0;
+  std::size_t instances = 0;
+  double months = 0.0;
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  std::vector<std::string> algo_names;
+  std::vector<std::string> labels;
+  std::vector<ChunkItem> items;
+};
+
+inline bool write_chunk(const std::string& path, const ChunkFile& chunk) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  std::fprintf(f, "mcharge-chunk\t1\n");
+  std::fprintf(f, "figure\t%s\n", chunk.figure.c_str());
+  std::fprintf(f, "knob\t%s\n", chunk.knob.c_str());
+  std::fprintf(f, "seed\t%llu\n",
+               static_cast<unsigned long long>(chunk.seed));
+  std::fprintf(f, "instances\t%zu\n", chunk.instances);
+  std::fprintf(f, "months\t%a\n", chunk.months);
+  std::fprintf(f, "shard\t%zu/%zu\n", chunk.shard_index, chunk.shard_count);
+  for (const auto& name : chunk.algo_names) {
+    std::fprintf(f, "algo\t%s\n", name.c_str());
+  }
+  for (const auto& label : chunk.labels) {
+    std::fprintf(f, "label\t%s\n", label.c_str());
+  }
+  for (const ChunkItem& it : chunk.items) {
+    std::fprintf(f, "item\t%zu %zu %zu %a %a %zu\n", it.point, it.inst,
+                 it.algo, it.tour, it.dead, it.violations);
+  }
+  std::fprintf(f, "end\t%zu\n", chunk.items.size());
+  return std::fclose(f) == 0;
+}
+
+/// Parses a chunk file. On failure returns false and sets *error.
+inline bool read_chunk(const std::string& path, ChunkFile* chunk,
+                       std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (!f) {
+    *error = path + ": cannot open";
+    return false;
+  }
+  *chunk = ChunkFile{};
+  bool saw_magic = false, saw_end = false;
+  char line[512];
+  auto fail = [&](const std::string& why) {
+    *error = path + ": " + why;
+    std::fclose(f);
+    return false;
+  };
+  while (std::fgets(line, sizeof line, f)) {
+    const std::size_t len = std::strlen(line);
+    if (len > 0 && line[len - 1] == '\n') line[len - 1] = '\0';
+    char* tab = std::strchr(line, '\t');
+    if (!tab) return fail(std::string("malformed line: ") + line);
+    *tab = '\0';
+    const std::string key = line;
+    const char* value = tab + 1;
+    if (key == "mcharge-chunk") {
+      if (std::string(value) != "1") return fail("unsupported version");
+      saw_magic = true;
+    } else if (!saw_magic) {
+      return fail("missing mcharge-chunk header");
+    } else if (key == "figure") {
+      chunk->figure = value;
+    } else if (key == "knob") {
+      chunk->knob = value;
+    } else if (key == "seed") {
+      unsigned long long seed = 0;
+      if (std::sscanf(value, "%llu", &seed) != 1) return fail("bad seed");
+      chunk->seed = seed;
+    } else if (key == "instances") {
+      if (std::sscanf(value, "%zu", &chunk->instances) != 1) {
+        return fail("bad instances");
+      }
+    } else if (key == "months") {
+      if (std::sscanf(value, "%la", &chunk->months) != 1) {
+        return fail("bad months");
+      }
+    } else if (key == "shard") {
+      if (std::sscanf(value, "%zu/%zu", &chunk->shard_index,
+                      &chunk->shard_count) != 2) {
+        return fail("bad shard");
+      }
+    } else if (key == "algo") {
+      chunk->algo_names.emplace_back(value);
+    } else if (key == "label") {
+      chunk->labels.emplace_back(value);
+    } else if (key == "item") {
+      ChunkItem it;
+      if (std::sscanf(value, "%zu %zu %zu %la %la %zu", &it.point, &it.inst,
+                      &it.algo, &it.tour, &it.dead, &it.violations) != 6) {
+        return fail("bad item line");
+      }
+      chunk->items.push_back(it);
+    } else if (key == "end") {
+      std::size_t count = 0;
+      if (std::sscanf(value, "%zu", &count) != 1 ||
+          count != chunk->items.size()) {
+        return fail("item count mismatch (truncated file?)");
+      }
+      saw_end = true;
+    } else {
+      return fail("unknown key: " + key);
+    }
+  }
+  std::fclose(f);
+  if (!saw_end) return fail("missing end marker (truncated file?)");
+  return true;
+}
+
+}  // namespace mcharge::bench

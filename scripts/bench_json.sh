@@ -24,8 +24,8 @@ FILTER=""
 for arg in "$@"; do
   case "$arg" in
     --quick)
-      # The distance-cache and parallel-sweep trajectory benches.
-      FILTER="--benchmark_filter=BM_(TwoOpt|TwoOptCached|OrOpt|OrOptCached|DistanceCacheBuild|ParallelSweep|ApproPlan)" ;;
+      # The distance-cache, simd-kernel and parallel-sweep trajectory benches.
+      FILTER="--benchmark_filter=BM_(TwoOpt|TwoOptCached|OrOpt|OrOptCached|DistanceCacheBuild|SimdDistanceMatrix|SimdArgminScan|ParallelSweep|ApproPlan)" ;;
     --filter=*)
       FILTER="--benchmark_filter=${arg#--filter=}" ;;
     *)

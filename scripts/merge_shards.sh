@@ -1,0 +1,32 @@
+#!/usr/bin/env sh
+# Merges figure-bench shard chunks into the final figure output.
+#
+# A sharded sweep splits the (point, instance, algorithm) work items of a
+# figure bench across N independent processes (or machines):
+#
+#   build/bench/fig3_vary_n --instances=100 --shard=0/4 --chunk=fig3.0.chunk
+#   build/bench/fig3_vary_n --instances=100 --shard=1/4 --chunk=fig3.1.chunk
+#   build/bench/fig3_vary_n --instances=100 --shard=2/4 --chunk=fig3.2.chunk
+#   build/bench/fig3_vary_n --instances=100 --shard=3/4 --chunk=fig3.3.chunk
+#   scripts/merge_shards.sh fig3.*.chunk > fig3.txt
+#
+# The merged output is byte-identical to the unsharded run (same
+# --instances/--months/--seed, any --jobs): chunks carry raw hexfloat
+# samples, and the merge replays the bench's own deterministic reduction.
+#
+# Usage:
+#   scripts/merge_shards.sh [--csv=PREFIX] chunk...
+#   BUILD_DIR=other-build scripts/merge_shards.sh chunk...
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+BIN="$BUILD_DIR/bench/merge_shards"
+
+if [ ! -x "$BIN" ]; then
+  echo "building $BIN ..." >&2
+  cmake -B "$BUILD_DIR" -S . >/dev/null
+  cmake --build "$BUILD_DIR" -j --target merge_shards >/dev/null
+fi
+
+exec "$BIN" "$@"

@@ -21,6 +21,7 @@ class Blossom {
       : n_(n),
         cap_(2 * n + 1),
         g_(cap_ * cap_),
+        w_(static_cast<std::size_t>(cap_) * cap_, 0),
         lab_(cap_, 0),
         match_(cap_, 0),
         slack_(cap_, 0),
@@ -32,14 +33,14 @@ class Blossom {
         flower_(cap_) {
     for (int u = 1; u <= 2 * n_; ++u) {
       for (int v = 1; v <= 2 * n_; ++v) {
-        edge(u, v) = Edge{u, v, 0};
+        edge(u, v) = Edge{u, v};
       }
     }
   }
 
   void set_weight(int u, int v, std::int64_t w) {
-    edge(u, v).w = 2 * w;
-    edge(v, u).w = 2 * w;
+    wt(u, v) = 2 * w;
+    wt(v, u) = 2 * w;
   }
 
   /// Runs the solver; afterwards partner(v) gives v's mate (1-based).
@@ -50,7 +51,7 @@ class Blossom {
       st_[u] = u;
       from_[u][u] = u;
       for (int v = 1; v <= n_; ++v) {
-        w_max = std::max(w_max, edge(u, v).w);
+        w_max = std::max(w_max, wt(u, v));
       }
     }
     for (int u = 1; u <= n_; ++u) lab_[u] = w_max;
@@ -61,16 +62,27 @@ class Blossom {
   int partner(int v) const { return match_[v]; }
 
  private:
+  // Edge endpoints and weights live in separate arrays: the dual-adjustment
+  // queue scan touches only the weight row for a vertex, and splitting the
+  // 16-byte {u, v, w} record halves its memory traffic. The weight of the
+  // (u, v) slot is always wt(u, v); when add_blossom copies an Edge record
+  // wholesale, the matching w_ slot is copied alongside it.
   struct Edge {
     int u = 0, v = 0;
-    std::int64_t w = 0;
   };
 
   Edge& edge(int u, int v) { return g_[u * cap_ + v]; }
   const Edge& edge(int u, int v) const { return g_[u * cap_ + v]; }
 
+  std::int64_t& wt(int u, int v) {
+    return w_[static_cast<std::size_t>(u) * cap_ + v];
+  }
+  std::int64_t wt(int u, int v) const {
+    return w_[static_cast<std::size_t>(u) * cap_ + v];
+  }
+
   std::int64_t e_delta(const Edge& e) const {
-    return lab_[e.u] + lab_[e.v] - edge(e.u, e.v).w;
+    return lab_[e.u] + lab_[e.v] - wt(e.u, e.v);
   }
 
   void update_slack(int u, int x) {
@@ -82,7 +94,7 @@ class Blossom {
   void set_slack(int x) {
     slack_[x] = 0;
     for (int u = 1; u <= n_; ++u) {
-      if (edge(u, x).w > 0 && st_[u] != x && s_[st_[u]] == 0) {
+      if (wt(u, x) > 0 && st_[u] != x && s_[st_[u]] == 0) {
         update_slack(u, x);
       }
     }
@@ -172,16 +184,17 @@ class Blossom {
     }
     set_st(b, b);
     for (int x = 1; x <= n_x_; ++x) {
-      edge(b, x).w = 0;
-      edge(x, b).w = 0;
+      wt(b, x) = 0;
+      wt(x, b) = 0;
     }
     for (int x = 1; x <= n_; ++x) from_[b][x] = 0;
     for (int xs : flower_[b]) {
       for (int x = 1; x <= n_x_; ++x) {
-        if (edge(b, x).w == 0 ||
-            e_delta(edge(xs, x)) < e_delta(edge(b, x))) {
+        if (wt(b, x) == 0 || e_delta(edge(xs, x)) < e_delta(edge(b, x))) {
           edge(b, x) = edge(xs, x);
           edge(x, b) = edge(x, xs);
+          wt(b, x) = wt(xs, x);
+          wt(x, b) = wt(x, xs);
         }
       }
       for (int x = 1; x <= n_; ++x) {
@@ -263,9 +276,14 @@ class Blossom {
         const int u = queue_.front();
         queue_.pop_front();
         if (s_[st_[u]] == 1) continue;
+        // u is a base vertex (q_push expands blossoms), so edge(u, v) for
+        // v <= n_ is never overwritten and e_delta reduces to the direct
+        // label/weight expression on the row of w_.
+        const std::int64_t* wrow = &w_[static_cast<std::size_t>(u) * cap_];
+        const std::int64_t lab_u = lab_[u];
         for (int v = 1; v <= n_; ++v) {
-          if (edge(u, v).w > 0 && st_[u] != st_[v]) {
-            if (e_delta(edge(u, v)) == 0) {
+          if (wrow[v] > 0 && st_[u] != st_[v]) {
+            if (lab_u + lab_[v] - wrow[v] == 0) {
               if (on_found_edge(edge(u, v))) return true;
             } else {
               update_slack(u, st_[v]);
@@ -326,6 +344,7 @@ class Blossom {
   int n_x_ = 0;
   int cap_;
   std::vector<Edge> g_;
+  std::vector<std::int64_t> w_;
   std::vector<std::int64_t> lab_;
   std::vector<int> match_, slack_, st_, pa_, s_, vis_;
   std::vector<std::vector<int>> from_;

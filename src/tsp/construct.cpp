@@ -8,12 +8,11 @@
 #include "graph/mst.h"
 #include "matching/matching.h"
 #include "util/assert.h"
+#include "util/simd.h"
 
 namespace mcharge::tsp {
 
 namespace {
-
-constexpr double kInf = std::numeric_limits<double>::infinity();
 
 // Internally the TSP runs over m+1 vertices: 0 is the depot, vertex v >= 1
 // is site v-1. Distances are served from the problem's cache (the public
@@ -64,25 +63,21 @@ std::vector<std::uint32_t> shortcut(const std::vector<std::uint32_t>& walk,
 Tour nearest_neighbor_tour(const TourProblem& problem) {
   const std::size_t m = problem.size();
   problem.ensure_distance_cache();
+  if (m <= 1) return m == 0 ? Tour{} : Tour{0};
   Tour tour;
   tour.reserve(m);
-  std::vector<char> visited(m, 0);
-  std::int64_t at = -1;  // -1 = depot
+  // Each step is a masked lowest-index argmin over a contiguous cache row
+  // (the depot vector for the first hop) — the simd kernel reproduces the
+  // scalar strict-< scan bit for bit, ties included.
+  std::vector<unsigned char> visited(m, 0);
+  const double* row = problem.depot_distance_ptr();
   for (std::size_t step = 0; step < m; ++step) {
-    double best = kInf;
-    SiteId best_v = 0;
-    for (SiteId v = 0; v < m; ++v) {
-      if (visited[v]) continue;
-      const double d = at < 0 ? problem.distance_depot(v)
-                              : problem.distance(static_cast<SiteId>(at), v);
-      if (d < best) {
-        best = d;
-        best_v = v;
-      }
-    }
+    const simd::ArgMin pick = simd::argmin_masked(row, visited.data(), m);
+    MCHARGE_ASSERT(pick.index != simd::kNpos, "unvisited site must exist");
+    const auto best_v = static_cast<SiteId>(pick.index);
     visited[best_v] = 1;
     tour.push_back(best_v);
-    at = best_v;
+    row = problem.distance_row_ptr(best_v);
   }
   return tour;
 }

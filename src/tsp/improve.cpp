@@ -1,8 +1,12 @@
 #include "tsp/improve.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
 
 #include "util/assert.h"
+#include "util/simd.h"
 
 namespace mcharge::tsp {
 
@@ -19,29 +23,101 @@ double leg(const TourProblem& p, const Tour& t, std::ptrdiff_t i,
   return p.travel(t[static_cast<std::size_t>(i)], t[static_cast<std::size_t>(j)]);
 }
 
+// Position-ordered SoA mirror of the tour (px[p], py[p] = coordinates of
+// tour[p]) with the depot appended as a sentinel at index m so the gain
+// kernels may read P[j + 1] for j == m - 1. Recomputing a distance from
+// these coordinates yields exactly the bits a cache read (or geom::distance)
+// would — the precondition for routing the scans through util/simd.h.
+void mirror_tour(const TourProblem& problem, const Tour& tour,
+                 std::vector<double>& px, std::vector<double>& py) {
+  const std::size_t m = tour.size();
+  px.resize(m + 1);
+  py.resize(m + 1);
+  for (std::size_t p = 0; p < m; ++p) {
+    px[p] = problem.sites[tour[p]].x;
+    py[p] = problem.sites[tour[p]].y;
+  }
+  px[m] = problem.depot.x;
+  py[m] = problem.depot.y;
+}
+
+// Travel time of the (k, k+1) leg from the mirrored coordinates — the
+// exact bits the scan kernels previously recomputed per element.
+double leg_time(const std::vector<double>& px, const std::vector<double>& py,
+                double speed, std::size_t k) {
+  const double dx = px[k] - px[k + 1];
+  const double dy = py[k] - py[k + 1];
+  return std::sqrt(dx * dx + dy * dy) / speed;
+}
+
+// tc[k] = travel time of leg (P[k], P[k+1]) for k in [0, m); the last
+// entry is the (P[m-1], depot) leg via the sentinel. Hoisting these out
+// of the 2-opt / Or-opt scans removes a sqrt and a divide per scanned
+// element; every compared value keeps identical bits.
+void fill_leg_times(const std::vector<double>& px,
+                    const std::vector<double>& py, double speed,
+                    std::vector<double>& tc) {
+  const std::size_t m = px.size() - 1;
+  tc.resize(m);
+  for (std::size_t k = 0; k < m; ++k) tc[k] = leg_time(px, py, speed, k);
+}
+
 }  // namespace
 
 double two_opt(const TourProblem& problem, Tour& tour,
                const ImproveOptions& options) {
-  const auto m = static_cast<std::ptrdiff_t>(tour.size());
+  const std::size_t m = tour.size();
   if (m < 2) return 0.0;
+  std::vector<double> px, py, tc;
+  mirror_tour(problem, tour, px, py);
+  fill_leg_times(px, py, problem.speed, tc);
+
   double saved = 0.0;
   for (std::size_t pass = 0; pass < options.max_passes; ++pass) {
     bool improved = false;
     // Reverse tour[i..j]; affected legs: (i-1, i) and (j, j+1) become
     // (i-1, j) and (i, j+1). Depot legs included via sentinel positions.
-    for (std::ptrdiff_t i = 0; i < m - 1; ++i) {
-      for (std::ptrdiff_t j = i + 1; j < m; ++j) {
-        if (i == 0 && j == m - 1) continue;  // full reversal: no change
-        const double before = leg(problem, tour, i - 1, i) +
-                              leg(problem, tour, j, j + 1);
-        const double after = leg(problem, tour, i - 1, j) +
-                             leg(problem, tour, i, j + 1);
-        if (after < before - options.min_gain) {
-          std::reverse(tour.begin() + i, tour.begin() + j + 1);
-          saved += before - after;
-          improved = true;
-        }
+    // For each left edge the j loop is a first-improvement scan with a
+    // fixed (ax, ay), (bx, by) and base leg — exactly the shape of
+    // simd::two_opt_scan, which returns the first improving j (or kNpos)
+    // with the scalar comparison sequence. After a reversal the scan
+    // resumes at j + 1 on the updated tour, as the scalar loop did.
+    for (std::size_t i = 0; i + 1 < m; ++i) {
+      const auto ip = static_cast<std::ptrdiff_t>(i);
+      const double ax = i == 0 ? problem.depot.x : px[i - 1];
+      const double ay = i == 0 ? problem.depot.y : py[i - 1];
+      double bx = px[i];
+      double by = py[i];
+      double base = leg(problem, tour, ip - 1, ip);
+      // i == 0 with j == m - 1 is the full reversal (no change): the
+      // scalar loop skipped it, so the scan simply ends one j earlier.
+      const std::size_t j_end = i == 0 ? m - 1 : m;
+      std::size_t j = i + 1;
+      while (j < j_end) {
+        const std::size_t hit = simd::two_opt_scan(
+            px.data(), py.data(), tc.data(), j, j_end, ax, ay, bx, by,
+            problem.speed, base, options.min_gain);
+        if (hit == simd::kNpos) break;
+        const auto jp = static_cast<std::ptrdiff_t>(hit);
+        const double before =
+            leg(problem, tour, ip - 1, ip) + leg(problem, tour, jp, jp + 1);
+        const double after =
+            leg(problem, tour, ip - 1, jp) + leg(problem, tour, ip, jp + 1);
+        std::reverse(tour.begin() + ip, tour.begin() + jp + 1);
+        std::reverse(px.begin() + ip, px.begin() + jp + 1);
+        std::reverse(py.begin() + ip, py.begin() + jp + 1);
+        // Internal legs keep their lengths with reversed orientation (the
+        // squares make direction exact); only the boundary legs change.
+        std::reverse(tc.begin() + ip, tc.begin() + jp);
+        tc[hit] = leg_time(px, py, problem.speed, hit);
+        if (i > 0) tc[i - 1] = leg_time(px, py, problem.speed, i - 1);
+        saved += before - after;
+        improved = true;
+        // Position i now holds a different point; position i-1 did not move.
+        bx = px[i];
+        by = py[i];
+        base = leg(problem, tour, ip - 1, ip);
+        j = hit + 1;
       }
     }
     if (!improved) break;
@@ -53,34 +129,61 @@ double or_opt(const TourProblem& problem, Tour& tour,
               const ImproveOptions& options) {
   const auto m = static_cast<std::ptrdiff_t>(tour.size());
   if (m < 3) return 0.0;
+  std::vector<double> px, py, tc;
   double saved = 0.0;
   for (std::size_t pass = 0; pass < options.max_passes; ++pass) {
     bool improved = false;
+    mirror_tour(problem, tour, px, py);
+    fill_leg_times(px, py, problem.speed, tc);
     for (std::ptrdiff_t len = 1; len <= 3 && len < m; ++len) {
-      for (std::ptrdiff_t i = 0; i + len <= m; ++i) {
+      for (std::ptrdiff_t i = 0; i + len <= m && !improved; ++i) {
         // Segment [i, i+len); try inserting after position k (k outside the
         // segment), i.e. between k and k+1.
         const double removal_gain = leg(problem, tour, i - 1, i) +
                                     leg(problem, tour, i + len - 1, i + len) -
                                     leg(problem, tour, i - 1, i + len);
         if (removal_gain <= options.min_gain) continue;
-        for (std::ptrdiff_t k = -1; k < m; ++k) {
-          if (k >= i - 1 && k < i + len) continue;  // no-op positions
-          const double insert_cost =
-              leg(problem, tour, k, i) + leg(problem, tour, i + len - 1, k + 1) -
-              leg(problem, tour, k, k + 1);
-          if (insert_cost < removal_gain - options.min_gain) {
-            // Perform the move on a copy of the segment.
-            Tour segment(tour.begin() + i, tour.begin() + i + len);
-            tour.erase(tour.begin() + i, tour.begin() + i + len);
-            std::ptrdiff_t dest = k < i ? k + 1 : k + 1 - len;
-            tour.insert(tour.begin() + dest, segment.begin(), segment.end());
-            saved += removal_gain - insert_cost;
-            improved = true;
-            break;  // positions shifted; restart the i loop conservatively
-          }
+        const double threshold = removal_gain - options.min_gain;
+        const double ix = px[static_cast<std::size_t>(i)];
+        const double iy = py[static_cast<std::size_t>(i)];
+        const double ex = px[static_cast<std::size_t>(i + len - 1)];
+        const double ey = py[static_cast<std::size_t>(i + len - 1)];
+        // The scalar k loop ran -1, 0, .., m-1 skipping the no-op window
+        // [i-1, i+len). Same order here: the depot slot k = -1 (checked
+        // scalar-style; the window swallows it when i == 0), then the
+        // kernel scans [0, i-1) and [i+len, m).
+        std::ptrdiff_t k = -2;  // -2: no improving position found
+        if (i > 0) {
+          const double depot_cost = leg(problem, tour, -1, i) +
+                                    leg(problem, tour, i + len - 1, 0) -
+                                    leg(problem, tour, -1, 0);
+          if (depot_cost < threshold) k = -1;
         }
-        if (improved) break;
+        if (k == -2 && i >= 2) {
+          const std::size_t hit = simd::or_opt_scan(
+              px.data(), py.data(), tc.data(), 0,
+              static_cast<std::size_t>(i - 1), ix, iy, ex, ey, problem.speed,
+              threshold);
+          if (hit != simd::kNpos) k = static_cast<std::ptrdiff_t>(hit);
+        }
+        if (k == -2) {
+          const std::size_t hit = simd::or_opt_scan(
+              px.data(), py.data(), tc.data(),
+              static_cast<std::size_t>(i + len), static_cast<std::size_t>(m),
+              ix, iy, ex, ey, problem.speed, threshold);
+          if (hit != simd::kNpos) k = static_cast<std::ptrdiff_t>(hit);
+        }
+        if (k == -2) continue;
+        const double insert_cost = leg(problem, tour, k, i) +
+                                   leg(problem, tour, i + len - 1, k + 1) -
+                                   leg(problem, tour, k, k + 1);
+        // Perform the move on a copy of the segment.
+        Tour segment(tour.begin() + i, tour.begin() + i + len);
+        tour.erase(tour.begin() + i, tour.begin() + i + len);
+        const std::ptrdiff_t dest = k < i ? k + 1 : k + 1 - len;
+        tour.insert(tour.begin() + dest, segment.begin(), segment.end());
+        saved += removal_gain - insert_cost;
+        improved = true;  // positions shifted; restart the pass conservatively
       }
       if (improved) break;
     }

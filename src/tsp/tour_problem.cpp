@@ -3,33 +3,45 @@
 #include <algorithm>
 
 #include "util/assert.h"
+#include "util/simd.h"
 
 namespace mcharge::tsp {
 
 void TourProblem::ensure_distance_cache() const {
   if (has_distance_cache()) return;
+  drop_distance_cache();
   const std::size_t m = sites.size();
-  if (m == 0) {
-    drop_distance_cache();
-    return;
+  cache_built_ = true;
+  cached_m_ = m;
+  // Nothing to tabulate for m <= 1: distance() never consults the matrix
+  // (the only pair is the zero diagonal) and a lone depot leg is cheaper
+  // recomputed than cached. Keeping this a no-op makes repeated
+  // ensure/drop cycles on tiny subproblems allocation-free.
+  if (m <= 1) return;
+  xs_.resize(m);
+  ys_.resize(m);
+  for (std::size_t a = 0; a < m; ++a) {
+    xs_[a] = sites[a].x;
+    ys_[a] = sites[a].y;
   }
   depot_dist_.resize(m);
-  site_dist_.assign(m * m, 0.0);
-  for (std::size_t a = 0; a < m; ++a) {
-    depot_dist_[a] = geom::distance(depot, sites[a]);
-    // Fill both triangles from one computation so the matrix is exactly
-    // symmetric (geom::distance is, but this makes it structural).
-    for (std::size_t b = a + 1; b < m; ++b) {
-      const double d = geom::distance(sites[a], sites[b]);
-      site_dist_[a * m + b] = d;
-      site_dist_[b * m + a] = d;
-    }
-  }
+  simd::distance_row(xs_.data(), ys_.data(), m, depot.x, depot.y,
+                     depot_dist_.data());
+  site_dist_.resize(m * m);
+  // Row-wise kernel fill of the upper triangle (diagonal included: the
+  // kernel yields +0.0 there), mirrored into the lower triangle so the
+  // matrix stays structurally symmetric. Every entry carries exactly the
+  // bits geom::distance would produce.
+  simd::distance_matrix(xs_.data(), ys_.data(), m, site_dist_.data());
 }
 
 void TourProblem::drop_distance_cache() const {
   site_dist_.clear();
   depot_dist_.clear();
+  xs_.clear();
+  ys_.clear();
+  cache_built_ = false;
+  cached_m_ = 0;
 }
 
 void TourProblem::check() const {

@@ -1,0 +1,276 @@
+#include "util/simd.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include "util/simd_kernels.h"
+
+namespace mcharge::simd {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// --- Scalar reference kernels -------------------------------------------
+// These ARE the determinism contract: every vector backend must reproduce
+// them bit for bit. Each loop body performs the exact operation sequence
+// of the code the kernel replaced (see the call sites in tsp/ and
+// geometry/).
+
+void scalar_distance_row(const double* xs, const double* ys, std::size_t n,
+                         double px, double py, double* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = px - xs[i];
+    const double dy = py - ys[i];
+    out[i] = std::sqrt(dx * dx + dy * dy);
+  }
+}
+
+ArgMin scalar_argmin_masked(const double* values, const unsigned char* skip,
+                            std::size_t n) {
+  ArgMin best{kNpos, kInf};
+  for (std::size_t i = 0; i < n; ++i) {
+    if (skip != nullptr && skip[i]) continue;
+    if (values[i] < best.value) {
+      best.value = values[i];
+      best.index = i;
+    }
+  }
+  return best;
+}
+
+ArgMin scalar_argmin_distance_masked(const double* xs, const double* ys,
+                                     std::size_t n, double px, double py,
+                                     const unsigned char* skip) {
+  ArgMin best{kNpos, kInf};
+  for (std::size_t i = 0; i < n; ++i) {
+    if (skip != nullptr && skip[i]) continue;
+    const double dx = px - xs[i];
+    const double dy = py - ys[i];
+    const double d = std::sqrt(dx * dx + dy * dy);
+    if (d < best.value) {
+      best.value = d;
+      best.index = i;
+    }
+  }
+  return best;
+}
+
+double scalar_min_reduce(const double* values, std::size_t n) {
+  double best = kInf;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (values[i] < best) best = values[i];
+  }
+  return best;
+}
+
+double scalar_max_reduce(const double* values, std::size_t n) {
+  double best = -kInf;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (values[i] > best) best = values[i];
+  }
+  return best;
+}
+
+std::size_t scalar_two_opt_scan(const double* px, const double* py,
+                                const double* tc, std::size_t j_begin,
+                                std::size_t j_end, double ax, double ay,
+                                double bx, double by, double speed,
+                                double base, double min_gain) {
+  for (std::size_t j = j_begin; j < j_end; ++j) {
+    const double dax = ax - px[j];
+    const double day = ay - py[j];
+    const double da = std::sqrt(dax * dax + day * day);
+    const double dbx = bx - px[j + 1];
+    const double dby = by - py[j + 1];
+    const double db = std::sqrt(dbx * dbx + dby * dby);
+    const double after = da / speed + db / speed;
+    const double before = base + tc[j];
+    if (after < before - min_gain) return j;
+  }
+  return kNpos;
+}
+
+std::size_t scalar_or_opt_scan(const double* px, const double* py,
+                               const double* tc, std::size_t k_begin,
+                               std::size_t k_end, double ix, double iy,
+                               double ex, double ey, double speed,
+                               double threshold) {
+  for (std::size_t k = k_begin; k < k_end; ++k) {
+    const double dax = px[k] - ix;
+    const double day = py[k] - iy;
+    const double da = std::sqrt(dax * dax + day * day);
+    const double dbx = ex - px[k + 1];
+    const double dby = ey - py[k + 1];
+    const double db = std::sqrt(dbx * dbx + dby * dby);
+    const double cost = da / speed + db / speed - tc[k];
+    if (cost < threshold) return k;
+  }
+  return kNpos;
+}
+
+std::size_t scalar_select_within(const double* xs, const double* ys,
+                                 std::size_t n, double cx, double cy,
+                                 double r2, const std::uint32_t* ids,
+                                 std::uint32_t* out) {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - cx;
+    const double dy = ys[i] - cy;
+    if (dx * dx + dy * dy <= r2) out[count++] = ids[i];
+  }
+  return count;
+}
+
+// --- Dispatch ------------------------------------------------------------
+
+const detail::KernelTable* table_for(Backend backend) {
+  switch (backend) {
+#if MCHARGE_SIMD_X86
+    case Backend::kAvx2:
+      return &detail::kAvx2Kernels;
+    case Backend::kAvx512:
+      return &detail::kAvx512Kernels;
+#endif
+    default:
+      return &detail::kScalarKernels;
+  }
+}
+
+Backend hardware_best() {
+#if MCHARGE_SIMD_X86
+  if (__builtin_cpu_supports("avx512f")) return Backend::kAvx512;
+  if (__builtin_cpu_supports("avx2")) return Backend::kAvx2;
+#endif
+  return Backend::kScalar;
+}
+
+/// MCHARGE_SIMD=scalar|avx2|avx512 caps the backend from the environment
+/// (it can only lower, never enable something the CPU lacks).
+Backend env_capped(Backend best) {
+  const char* env = std::getenv("MCHARGE_SIMD");
+  if (env == nullptr) return best;
+  const std::string v(env);
+  Backend cap = best;
+  if (v == "scalar") cap = Backend::kScalar;
+  if (v == "avx2") cap = Backend::kAvx2;
+  if (v == "avx512") cap = Backend::kAvx512;
+  return static_cast<int>(cap) < static_cast<int>(best) ? cap : best;
+}
+
+struct Dispatch {
+  Backend best;
+  Backend active;
+  const detail::KernelTable* table;
+
+  Dispatch() {
+    best = env_capped(hardware_best());
+    active = best;
+    table = table_for(active);
+  }
+};
+
+Dispatch& dispatch() {
+  static Dispatch d;
+  return d;
+}
+
+}  // namespace
+
+namespace detail {
+const KernelTable kScalarKernels = {
+    scalar_distance_row,  scalar_argmin_masked, scalar_argmin_distance_masked,
+    scalar_min_reduce,    scalar_max_reduce,    scalar_two_opt_scan,
+    scalar_or_opt_scan,   scalar_select_within,
+};
+}  // namespace detail
+
+Backend best_backend() { return dispatch().best; }
+
+Backend active_backend() { return dispatch().active; }
+
+Backend set_backend(Backend backend) {
+  Dispatch& d = dispatch();
+  const Backend clamped =
+      static_cast<int>(backend) <= static_cast<int>(d.best) ? backend : d.best;
+  d.active = clamped;
+  d.table = table_for(clamped);
+  return d.active;
+}
+
+const char* backend_name(Backend backend) {
+  switch (backend) {
+    case Backend::kAvx2:
+      return "avx2";
+    case Backend::kAvx512:
+      return "avx512";
+    default:
+      return "scalar";
+  }
+}
+
+void distance_row(const double* xs, const double* ys, std::size_t n,
+                  double px, double py, double* out) {
+  dispatch().table->distance_row(xs, ys, n, px, py, out);
+}
+
+void distance_matrix(const double* xs, const double* ys, std::size_t m,
+                     double* out) {
+  // Row a is filled from the diagonal rightwards with the row kernel, then
+  // mirrored into column a. Mirroring is bitwise-safe: dx and -dx square
+  // to the same double, so d(a, b) == d(b, a) exactly.
+  const auto* table = dispatch().table;
+  for (std::size_t a = 0; a < m; ++a) {
+    double* row = out + a * m;
+    table->distance_row(xs + a, ys + a, m - a, xs[a], ys[a], row + a);
+    for (std::size_t b = a + 1; b < m; ++b) {
+      out[b * m + a] = row[b];
+    }
+  }
+}
+
+ArgMin argmin_masked(const double* values, const unsigned char* skip,
+                     std::size_t n) {
+  return dispatch().table->argmin_masked(values, skip, n);
+}
+
+ArgMin argmin_distance_masked(const double* xs, const double* ys,
+                              std::size_t n, double px, double py,
+                              const unsigned char* skip) {
+  return dispatch().table->argmin_distance_masked(xs, ys, n, px, py, skip);
+}
+
+double min_reduce(const double* values, std::size_t n) {
+  return dispatch().table->min_reduce(values, n);
+}
+
+double max_reduce(const double* values, std::size_t n) {
+  return dispatch().table->max_reduce(values, n);
+}
+
+std::size_t two_opt_scan(const double* px, const double* py, const double* tc,
+                         std::size_t j_begin, std::size_t j_end, double ax,
+                         double ay, double bx, double by, double speed,
+                         double base, double min_gain) {
+  return dispatch().table->two_opt_scan(px, py, tc, j_begin, j_end, ax, ay,
+                                        bx, by, speed, base, min_gain);
+}
+
+std::size_t or_opt_scan(const double* px, const double* py, const double* tc,
+                        std::size_t k_begin, std::size_t k_end, double ix,
+                        double iy, double ex, double ey, double speed,
+                        double threshold) {
+  return dispatch().table->or_opt_scan(px, py, tc, k_begin, k_end, ix, iy, ex,
+                                       ey, speed, threshold);
+}
+
+std::size_t select_within(const double* xs, const double* ys, std::size_t n,
+                          double cx, double cy, double r2,
+                          const std::uint32_t* ids, std::uint32_t* out) {
+  return dispatch().table->select_within(xs, ys, n, cx, cy, r2, ids, out);
+}
+
+}  // namespace mcharge::simd

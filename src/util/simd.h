@@ -1,0 +1,121 @@
+// Portable SIMD kernels for the dense geometry hot paths: SoA distance
+// rows / matrices, fused distance+argmin scans, min/max reductions, and
+// the 2-opt / Or-opt first-improvement gain scans.
+//
+// Bitwise-identity contract
+// -------------------------
+// Every kernel is REQUIRED to produce results bitwise identical to the
+// scalar reference path (geom::distance and the hand-written loops it
+// replaced). That holds because each kernel performs exactly the same
+// per-element IEEE-754 double operations as the scalar code — per-element
+// dx*dx + dy*dy, one correctly-rounded sqrt, one divide by speed — only
+// on 4 or 8 lanes at a time. No FMA contraction (the vector TUs compile
+// with -ffp-contract=off), no reassociation across elements, and argmin
+// ties break to the lowest index exactly like a sequential strict-<
+// scan. Tests in tests/simd_test.cpp enforce lane-for-lane equality
+// against the scalar backend; the byte-compare regressions enforce it
+// end to end.
+//
+// Dispatch
+// --------
+// Backends: scalar (always), AVX2 (4 x double) and AVX-512F (8 x double)
+// on x86-64 GNU-compatible compilers. The best supported backend is
+// chosen at runtime via CPU detection on first use; MCHARGE_SIMD=scalar|
+// avx2|avx512 in the environment overrides downward, and building with
+// -DMCHARGE_NO_SIMD=ON compiles the scalar backend only. set_backend()
+// lets tests pin a backend explicitly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mcharge::simd {
+
+inline constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+enum class Backend { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+/// Best backend supported by this build + CPU (respects MCHARGE_SIMD).
+Backend best_backend();
+/// Backend the kernels currently dispatch to.
+Backend active_backend();
+/// Requests a backend; clamped to best_backend() if unsupported. Returns
+/// the backend actually active afterwards. Not thread-safe; intended for
+/// tests and single-threaded setup.
+Backend set_backend(Backend backend);
+const char* backend_name(Backend backend);
+
+/// out[i] = sqrt((px - xs[i])^2 + (py - ys[i])^2) for i in [0, n).
+void distance_row(const double* xs, const double* ys, std::size_t n,
+                  double px, double py, double* out);
+
+/// Fills the dense m x m symmetric Euclidean distance matrix (row-major)
+/// for the SoA point set (xs, ys). Diagonal is +0.0.
+void distance_matrix(const double* xs, const double* ys, std::size_t m,
+                     double* out);
+
+struct ArgMin {
+  std::size_t index = kNpos;
+  double value = 0.0;
+};
+
+/// Lowest-index minimum of values[i] over i with skip[i] == 0. Equivalent
+/// to the sequential scan `if (v < best) ...`; returns kNpos if every
+/// element is skipped or n == 0. skip may be nullptr (no mask).
+ArgMin argmin_masked(const double* values, const unsigned char* skip,
+                     std::size_t n);
+
+/// Fused distance + argmin: lowest-index minimum of
+/// sqrt((px - xs[i])^2 + (py - ys[i])^2) over i with skip[i] == 0.
+/// skip may be nullptr (no mask).
+ArgMin argmin_distance_masked(const double* xs, const double* ys,
+                              std::size_t n, double px, double py,
+                              const unsigned char* skip);
+
+/// Exact min/max reductions (order-independent for non-NaN input).
+/// Return +inf / -inf respectively for n == 0.
+double min_reduce(const double* values, std::size_t n);
+double max_reduce(const double* values, std::size_t n);
+
+/// First-improvement scan of the 2-opt move set for a fixed left edge.
+///
+/// Positions are given as SoA arrays px/py over tour positions, with the
+/// depot appended as a sentinel at the last index; the scan reads
+/// px[j] and px[j + 1] for j in [j_begin, j_end), so px/py must be valid
+/// up to index j_end inclusive. tc[j] is the precomputed travel time of
+/// the (j, j+1) leg, i.e. exactly the bits of
+/// dist(P[j], P[j+1]) / speed — hoisting it out of the scan removes a
+/// sqrt and a divide per element without changing any compared value.
+/// (ax, ay) is the point at position i-1 (depot for i == 0), (bx, by)
+/// the point at position i, `base` the travel time of the (i-1, i) leg.
+/// Returns the first j such that
+///   dist((ax,ay), P[j])/speed + dist((bx,by), P[j+1])/speed
+///     < (base + tc[j]) - min_gain
+/// evaluated with exactly the scalar operation sequence, or kNpos.
+std::size_t two_opt_scan(const double* px, const double* py,
+                         const double* tc, std::size_t j_begin,
+                         std::size_t j_end, double ax, double ay, double bx,
+                         double by, double speed, double base,
+                         double min_gain);
+
+/// First-improvement scan of Or-opt insertion positions for a fixed
+/// segment. (ix, iy) is the segment's first point, (ex, ey) its last;
+/// the scan reads px[k], px[k + 1] and tc[k] for k in [k_begin, k_end)
+/// (depot sentinel at the last index and leg travel times tc as above).
+/// Returns the first k such that
+///   (dist(P[k], (ix,iy))/speed + dist((ex,ey), P[k+1])/speed)
+///     - tc[k] < threshold
+/// evaluated with exactly the scalar operation sequence, or kNpos.
+std::size_t or_opt_scan(const double* px, const double* py, const double* tc,
+                        std::size_t k_begin, std::size_t k_end, double ix,
+                        double iy, double ex, double ey, double speed,
+                        double threshold);
+
+/// Disk filter: appends ids[i] to out for every i in [0, n) with
+/// (xs[i] - cx)^2 + (ys[i] - cy)^2 <= r2, preserving order. Returns the
+/// number of ids written; out must have room for n entries.
+std::size_t select_within(const double* xs, const double* ys, std::size_t n,
+                          double cx, double cy, double r2,
+                          const std::uint32_t* ids, std::uint32_t* out);
+
+}  // namespace mcharge::simd

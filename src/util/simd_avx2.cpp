@@ -1,0 +1,311 @@
+// AVX2 (4 x double) backend. Compiled with -mavx2 -ffp-contract=off; see
+// simd_kernels.h for why this TU must stay free of repo headers.
+//
+// Bitwise identity with the scalar backend: every lane performs the same
+// mul / add / div / sqrt sequence as the scalar loop (all IEEE-754
+// correctly rounded, no FMA), and every reduction breaks ties toward the
+// lowest index exactly like a sequential strict-< scan.
+#include "util/simd_kernels.h"
+
+#if MCHARGE_SIMD_X86
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace mcharge::simd::detail {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+inline __m256d dist4(__m256d xs, __m256d ys, __m256d px, __m256d py) {
+  const __m256d dx = _mm256_sub_pd(px, xs);
+  const __m256d dy = _mm256_sub_pd(py, ys);
+  return _mm256_sqrt_pd(
+      _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy)));
+}
+
+/// 0xFF.. lanes where the skip byte is zero (i.e. the lane is live).
+inline __m256d live_mask4(const unsigned char* skip, std::size_t i) {
+  std::uint32_t packed;
+  std::memcpy(&packed, skip + i, sizeof(packed));
+  const __m256i bytes =
+      _mm256_cvtepu8_epi64(_mm_cvtsi32_si128(static_cast<int>(packed)));
+  return _mm256_castsi256_pd(
+      _mm256_cmpeq_epi64(bytes, _mm256_setzero_si256()));
+}
+
+/// Sequential-equivalent argmin update over 4 lanes plus scalar state.
+/// Lane l of block i holds element i + l, so within a lane strict-<
+/// keeps the lowest index; across lanes/tail the (value, index) compare
+/// below restores the global lowest-index rule.
+inline void reduce_argmin4(__m256d bestv, __m256i besti, ArgMin& best) {
+  alignas(32) double vals[4];
+  alignas(32) std::int64_t idx[4];
+  _mm256_store_pd(vals, bestv);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(idx), besti);
+  for (int l = 0; l < 4; ++l) {
+    // Skip lanes that never saw a live element, and +inf lanes: the
+    // scalar strict-< scan can never select an infinite value either.
+    if (idx[l] < 0 || vals[l] == kInf) continue;
+    const auto index = static_cast<std::size_t>(idx[l]);
+    if (vals[l] < best.value ||
+        (vals[l] == best.value && index < best.index)) {
+      best.value = vals[l];
+      best.index = index;
+    }
+  }
+}
+
+ArgMin avx2_argmin_masked(const double* values, const unsigned char* skip,
+                          std::size_t n) {
+  ArgMin best{kNpos, kInf};
+  std::size_t i = 0;
+  if (n >= 4) {
+    const __m256d inf = _mm256_set1_pd(kInf);
+    __m256d bestv = inf;
+    __m256i besti = _mm256_set1_epi64x(-1);
+    __m256i idx = _mm256_setr_epi64x(0, 1, 2, 3);
+    const __m256i step = _mm256_set1_epi64x(4);
+    for (; i + 4 <= n; i += 4) {
+      __m256d val = _mm256_loadu_pd(values + i);
+      if (skip != nullptr) {
+        val = _mm256_blendv_pd(inf, val, live_mask4(skip, i));
+      }
+      const __m256d lt = _mm256_cmp_pd(val, bestv, _CMP_LT_OQ);
+      bestv = _mm256_blendv_pd(bestv, val, lt);
+      besti = _mm256_castpd_si256(_mm256_blendv_pd(
+          _mm256_castsi256_pd(besti), _mm256_castsi256_pd(idx), lt));
+      idx = _mm256_add_epi64(idx, step);
+    }
+    reduce_argmin4(bestv, besti, best);
+  }
+  for (; i < n; ++i) {
+    if (skip != nullptr && skip[i]) continue;
+    if (values[i] < best.value) {
+      best.value = values[i];
+      best.index = i;
+    }
+  }
+  return best;
+}
+
+ArgMin avx2_argmin_distance_masked(const double* xs, const double* ys,
+                                   std::size_t n, double px, double py,
+                                   const unsigned char* skip) {
+  ArgMin best{kNpos, kInf};
+  std::size_t i = 0;
+  if (n >= 4) {
+    const __m256d inf = _mm256_set1_pd(kInf);
+    const __m256d vpx = _mm256_set1_pd(px);
+    const __m256d vpy = _mm256_set1_pd(py);
+    __m256d bestv = inf;
+    __m256i besti = _mm256_set1_epi64x(-1);
+    __m256i idx = _mm256_setr_epi64x(0, 1, 2, 3);
+    const __m256i step = _mm256_set1_epi64x(4);
+    for (; i + 4 <= n; i += 4) {
+      __m256d val = dist4(_mm256_loadu_pd(xs + i), _mm256_loadu_pd(ys + i),
+                          vpx, vpy);
+      if (skip != nullptr) {
+        val = _mm256_blendv_pd(inf, val, live_mask4(skip, i));
+      }
+      const __m256d lt = _mm256_cmp_pd(val, bestv, _CMP_LT_OQ);
+      bestv = _mm256_blendv_pd(bestv, val, lt);
+      besti = _mm256_castpd_si256(_mm256_blendv_pd(
+          _mm256_castsi256_pd(besti), _mm256_castsi256_pd(idx), lt));
+      idx = _mm256_add_epi64(idx, step);
+    }
+    reduce_argmin4(bestv, besti, best);
+  }
+  for (; i < n; ++i) {
+    if (skip != nullptr && skip[i]) continue;
+    const double dx = px - xs[i];
+    const double dy = py - ys[i];
+    const double d = std::sqrt(dx * dx + dy * dy);
+    if (d < best.value) {
+      best.value = d;
+      best.index = i;
+    }
+  }
+  return best;
+}
+
+void avx2_distance_row(const double* xs, const double* ys, std::size_t n,
+                       double px, double py, double* out) {
+  const __m256d vpx = _mm256_set1_pd(px);
+  const __m256d vpy = _mm256_set1_pd(py);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i, dist4(_mm256_loadu_pd(xs + i),
+                                    _mm256_loadu_pd(ys + i), vpx, vpy));
+  }
+  for (; i < n; ++i) {
+    const double dx = px - xs[i];
+    const double dy = py - ys[i];
+    out[i] = std::sqrt(dx * dx + dy * dy);
+  }
+}
+
+double avx2_min_reduce(const double* values, std::size_t n) {
+  double best = kInf;
+  std::size_t i = 0;
+  if (n >= 4) {
+    __m256d acc = _mm256_set1_pd(kInf);
+    for (; i + 4 <= n; i += 4) {
+      acc = _mm256_min_pd(acc, _mm256_loadu_pd(values + i));
+    }
+    alignas(32) double lanes[4];
+    _mm256_store_pd(lanes, acc);
+    for (double v : lanes) {
+      if (v < best) best = v;
+    }
+  }
+  for (; i < n; ++i) {
+    if (values[i] < best) best = values[i];
+  }
+  return best;
+}
+
+double avx2_max_reduce(const double* values, std::size_t n) {
+  double best = -kInf;
+  std::size_t i = 0;
+  if (n >= 4) {
+    __m256d acc = _mm256_set1_pd(-kInf);
+    for (; i + 4 <= n; i += 4) {
+      acc = _mm256_max_pd(acc, _mm256_loadu_pd(values + i));
+    }
+    alignas(32) double lanes[4];
+    _mm256_store_pd(lanes, acc);
+    for (double v : lanes) {
+      if (v > best) best = v;
+    }
+  }
+  for (; i < n; ++i) {
+    if (values[i] > best) best = values[i];
+  }
+  return best;
+}
+
+std::size_t avx2_two_opt_scan(const double* px, const double* py,
+                              const double* tc, std::size_t j_begin,
+                              std::size_t j_end, double ax, double ay,
+                              double bx, double by, double speed, double base,
+                              double min_gain) {
+  const __m256d vax = _mm256_set1_pd(ax), vay = _mm256_set1_pd(ay);
+  const __m256d vbx = _mm256_set1_pd(bx), vby = _mm256_set1_pd(by);
+  const __m256d vspeed = _mm256_set1_pd(speed);
+  const __m256d vbase = _mm256_set1_pd(base);
+  const __m256d vgain = _mm256_set1_pd(min_gain);
+  std::size_t j = j_begin;
+  for (; j + 4 <= j_end; j += 4) {
+    const __m256d jx = _mm256_loadu_pd(px + j);
+    const __m256d jy = _mm256_loadu_pd(py + j);
+    const __m256d j1x = _mm256_loadu_pd(px + j + 1);
+    const __m256d j1y = _mm256_loadu_pd(py + j + 1);
+    const __m256d da = dist4(jx, jy, vax, vay);
+    const __m256d db = dist4(j1x, j1y, vbx, vby);
+    const __m256d after =
+        _mm256_add_pd(_mm256_div_pd(da, vspeed), _mm256_div_pd(db, vspeed));
+    const __m256d before = _mm256_add_pd(vbase, _mm256_loadu_pd(tc + j));
+    const __m256d rhs = _mm256_sub_pd(before, vgain);
+    const int mask =
+        _mm256_movemask_pd(_mm256_cmp_pd(after, rhs, _CMP_LT_OQ));
+    if (mask != 0) return j + static_cast<std::size_t>(__builtin_ctz(mask));
+  }
+  for (; j < j_end; ++j) {
+    const double dax = ax - px[j];
+    const double day = ay - py[j];
+    const double da = std::sqrt(dax * dax + day * day);
+    const double dbx = bx - px[j + 1];
+    const double dby = by - py[j + 1];
+    const double db = std::sqrt(dbx * dbx + dby * dby);
+    const double after = da / speed + db / speed;
+    const double before = base + tc[j];
+    if (after < before - min_gain) return j;
+  }
+  return kNpos;
+}
+
+std::size_t avx2_or_opt_scan(const double* px, const double* py,
+                             const double* tc, std::size_t k_begin,
+                             std::size_t k_end, double ix, double iy,
+                             double ex, double ey, double speed,
+                             double threshold) {
+  const __m256d vix = _mm256_set1_pd(ix), viy = _mm256_set1_pd(iy);
+  const __m256d vex = _mm256_set1_pd(ex), vey = _mm256_set1_pd(ey);
+  const __m256d vspeed = _mm256_set1_pd(speed);
+  const __m256d vthresh = _mm256_set1_pd(threshold);
+  std::size_t k = k_begin;
+  for (; k + 4 <= k_end; k += 4) {
+    const __m256d kx = _mm256_loadu_pd(px + k);
+    const __m256d ky = _mm256_loadu_pd(py + k);
+    const __m256d k1x = _mm256_loadu_pd(px + k + 1);
+    const __m256d k1y = _mm256_loadu_pd(py + k + 1);
+    // dist(P[k], seg front): dx = px[k] - ix.
+    const __m256d dax = _mm256_sub_pd(kx, vix);
+    const __m256d day = _mm256_sub_pd(ky, viy);
+    const __m256d da = _mm256_sqrt_pd(
+        _mm256_add_pd(_mm256_mul_pd(dax, dax), _mm256_mul_pd(day, day)));
+    const __m256d db = dist4(k1x, k1y, vex, vey);
+    const __m256d cost = _mm256_sub_pd(
+        _mm256_add_pd(_mm256_div_pd(da, vspeed), _mm256_div_pd(db, vspeed)),
+        _mm256_loadu_pd(tc + k));
+    const int mask =
+        _mm256_movemask_pd(_mm256_cmp_pd(cost, vthresh, _CMP_LT_OQ));
+    if (mask != 0) return k + static_cast<std::size_t>(__builtin_ctz(mask));
+  }
+  for (; k < k_end; ++k) {
+    const double dax = px[k] - ix;
+    const double day = py[k] - iy;
+    const double da = std::sqrt(dax * dax + day * day);
+    const double dbx = ex - px[k + 1];
+    const double dby = ey - py[k + 1];
+    const double db = std::sqrt(dbx * dbx + dby * dby);
+    const double cost = da / speed + db / speed - tc[k];
+    if (cost < threshold) return k;
+  }
+  return kNpos;
+}
+
+std::size_t avx2_select_within(const double* xs, const double* ys,
+                               std::size_t n, double cx, double cy, double r2,
+                               const std::uint32_t* ids, std::uint32_t* out) {
+  const __m256d vcx = _mm256_set1_pd(cx);
+  const __m256d vcy = _mm256_set1_pd(cy);
+  const __m256d vr2 = _mm256_set1_pd(r2);
+  std::size_t count = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d dx = _mm256_sub_pd(_mm256_loadu_pd(xs + i), vcx);
+    const __m256d dy = _mm256_sub_pd(_mm256_loadu_pd(ys + i), vcy);
+    const __m256d d2 =
+        _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy));
+    int mask = _mm256_movemask_pd(_mm256_cmp_pd(d2, vr2, _CMP_LE_OQ));
+    while (mask != 0) {
+      const int lane = __builtin_ctz(mask);
+      out[count++] = ids[i + static_cast<std::size_t>(lane)];
+      mask &= mask - 1;
+    }
+  }
+  for (; i < n; ++i) {
+    const double dx = xs[i] - cx;
+    const double dy = ys[i] - cy;
+    if (dx * dx + dy * dy <= r2) out[count++] = ids[i];
+  }
+  return count;
+}
+
+}  // namespace
+
+const KernelTable kAvx2Kernels = {
+    avx2_distance_row,  avx2_argmin_masked, avx2_argmin_distance_masked,
+    avx2_min_reduce,    avx2_max_reduce,    avx2_two_opt_scan,
+    avx2_or_opt_scan,   avx2_select_within,
+};
+
+}  // namespace mcharge::simd::detail
+
+#endif  // MCHARGE_SIMD_X86

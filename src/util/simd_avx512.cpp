@@ -1,0 +1,297 @@
+// AVX-512F (8 x double) backend. Compiled with -mavx512f
+// -ffp-contract=off; see simd_kernels.h for the header-hygiene rule and
+// simd_avx2.cpp for the lane-for-lane bitwise-identity reasoning, which
+// applies unchanged at 8 lanes.
+#include "util/simd_kernels.h"
+
+#if MCHARGE_SIMD_X86
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace mcharge::simd::detail {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+inline __m512d dist8(__m512d xs, __m512d ys, __m512d px, __m512d py) {
+  const __m512d dx = _mm512_sub_pd(px, xs);
+  const __m512d dy = _mm512_sub_pd(py, ys);
+  return _mm512_sqrt_pd(
+      _mm512_add_pd(_mm512_mul_pd(dx, dx), _mm512_mul_pd(dy, dy)));
+}
+
+/// Mask bit set where the skip byte is zero (lane live).
+inline __mmask8 live_mask8(const unsigned char* skip, std::size_t i) {
+  std::uint64_t packed;
+  std::memcpy(&packed, skip + i, sizeof(packed));
+  const __m512i bytes = _mm512_cvtepu8_epi64(
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(&packed)));
+  return _mm512_cmpeq_epi64_mask(bytes, _mm512_setzero_si512());
+}
+
+inline void reduce_argmin8(__m512d bestv, __m512i besti, ArgMin& best) {
+  alignas(64) double vals[8];
+  alignas(64) std::int64_t idx[8];
+  _mm512_store_pd(vals, bestv);
+  _mm512_store_si512(idx, besti);
+  for (int l = 0; l < 8; ++l) {
+    // Skip lanes that never saw a live element, and +inf lanes: the
+    // scalar strict-< scan can never select an infinite value either.
+    if (idx[l] < 0 || vals[l] == kInf) continue;
+    const auto index = static_cast<std::size_t>(idx[l]);
+    if (vals[l] < best.value ||
+        (vals[l] == best.value && index < best.index)) {
+      best.value = vals[l];
+      best.index = index;
+    }
+  }
+}
+
+ArgMin avx512_argmin_masked(const double* values, const unsigned char* skip,
+                            std::size_t n) {
+  ArgMin best{kNpos, kInf};
+  std::size_t i = 0;
+  if (n >= 8) {
+    const __m512d inf = _mm512_set1_pd(kInf);
+    __m512d bestv = inf;
+    __m512i besti = _mm512_set1_epi64(-1);
+    __m512i idx = _mm512_setr_epi64(0, 1, 2, 3, 4, 5, 6, 7);
+    const __m512i step = _mm512_set1_epi64(8);
+    for (; i + 8 <= n; i += 8) {
+      const __mmask8 live =
+          skip != nullptr ? live_mask8(skip, i) : static_cast<__mmask8>(0xff);
+      const __m512d val = _mm512_mask_loadu_pd(inf, live, values + i);
+      const __mmask8 lt = _mm512_cmp_pd_mask(val, bestv, _CMP_LT_OQ);
+      bestv = _mm512_mask_blend_pd(lt, bestv, val);
+      besti = _mm512_mask_blend_epi64(lt, besti, idx);
+      idx = _mm512_add_epi64(idx, step);
+    }
+    reduce_argmin8(bestv, besti, best);
+  }
+  for (; i < n; ++i) {
+    if (skip != nullptr && skip[i]) continue;
+    if (values[i] < best.value) {
+      best.value = values[i];
+      best.index = i;
+    }
+  }
+  return best;
+}
+
+ArgMin avx512_argmin_distance_masked(const double* xs, const double* ys,
+                                     std::size_t n, double px, double py,
+                                     const unsigned char* skip) {
+  ArgMin best{kNpos, kInf};
+  std::size_t i = 0;
+  if (n >= 8) {
+    const __m512d inf = _mm512_set1_pd(kInf);
+    const __m512d vpx = _mm512_set1_pd(px);
+    const __m512d vpy = _mm512_set1_pd(py);
+    __m512d bestv = inf;
+    __m512i besti = _mm512_set1_epi64(-1);
+    __m512i idx = _mm512_setr_epi64(0, 1, 2, 3, 4, 5, 6, 7);
+    const __m512i step = _mm512_set1_epi64(8);
+    for (; i + 8 <= n; i += 8) {
+      __m512d val = dist8(_mm512_loadu_pd(xs + i), _mm512_loadu_pd(ys + i),
+                          vpx, vpy);
+      if (skip != nullptr) {
+        val = _mm512_mask_blend_pd(live_mask8(skip, i), inf, val);
+      }
+      const __mmask8 lt = _mm512_cmp_pd_mask(val, bestv, _CMP_LT_OQ);
+      bestv = _mm512_mask_blend_pd(lt, bestv, val);
+      besti = _mm512_mask_blend_epi64(lt, besti, idx);
+      idx = _mm512_add_epi64(idx, step);
+    }
+    reduce_argmin8(bestv, besti, best);
+  }
+  for (; i < n; ++i) {
+    if (skip != nullptr && skip[i]) continue;
+    const double dx = px - xs[i];
+    const double dy = py - ys[i];
+    const double d = std::sqrt(dx * dx + dy * dy);
+    if (d < best.value) {
+      best.value = d;
+      best.index = i;
+    }
+  }
+  return best;
+}
+
+void avx512_distance_row(const double* xs, const double* ys, std::size_t n,
+                         double px, double py, double* out) {
+  const __m512d vpx = _mm512_set1_pd(px);
+  const __m512d vpy = _mm512_set1_pd(py);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm512_storeu_pd(out + i, dist8(_mm512_loadu_pd(xs + i),
+                                    _mm512_loadu_pd(ys + i), vpx, vpy));
+  }
+  for (; i < n; ++i) {
+    const double dx = px - xs[i];
+    const double dy = py - ys[i];
+    out[i] = std::sqrt(dx * dx + dy * dy);
+  }
+}
+
+double avx512_min_reduce(const double* values, std::size_t n) {
+  double best = kInf;
+  std::size_t i = 0;
+  if (n >= 8) {
+    __m512d acc = _mm512_set1_pd(kInf);
+    for (; i + 8 <= n; i += 8) {
+      acc = _mm512_min_pd(acc, _mm512_loadu_pd(values + i));
+    }
+    best = _mm512_reduce_min_pd(acc);
+  }
+  for (; i < n; ++i) {
+    if (values[i] < best) best = values[i];
+  }
+  return best;
+}
+
+double avx512_max_reduce(const double* values, std::size_t n) {
+  double best = -kInf;
+  std::size_t i = 0;
+  if (n >= 8) {
+    __m512d acc = _mm512_set1_pd(-kInf);
+    for (; i + 8 <= n; i += 8) {
+      acc = _mm512_max_pd(acc, _mm512_loadu_pd(values + i));
+    }
+    best = _mm512_reduce_max_pd(acc);
+  }
+  for (; i < n; ++i) {
+    if (values[i] > best) best = values[i];
+  }
+  return best;
+}
+
+std::size_t avx512_two_opt_scan(const double* px, const double* py,
+                                const double* tc, std::size_t j_begin,
+                                std::size_t j_end, double ax, double ay,
+                                double bx, double by, double speed,
+                                double base, double min_gain) {
+  const __m512d vax = _mm512_set1_pd(ax), vay = _mm512_set1_pd(ay);
+  const __m512d vbx = _mm512_set1_pd(bx), vby = _mm512_set1_pd(by);
+  const __m512d vspeed = _mm512_set1_pd(speed);
+  const __m512d vbase = _mm512_set1_pd(base);
+  const __m512d vgain = _mm512_set1_pd(min_gain);
+  std::size_t j = j_begin;
+  for (; j + 8 <= j_end; j += 8) {
+    const __m512d jx = _mm512_loadu_pd(px + j);
+    const __m512d jy = _mm512_loadu_pd(py + j);
+    const __m512d j1x = _mm512_loadu_pd(px + j + 1);
+    const __m512d j1y = _mm512_loadu_pd(py + j + 1);
+    const __m512d da = dist8(jx, jy, vax, vay);
+    const __m512d db = dist8(j1x, j1y, vbx, vby);
+    const __m512d after =
+        _mm512_add_pd(_mm512_div_pd(da, vspeed), _mm512_div_pd(db, vspeed));
+    const __m512d before = _mm512_add_pd(vbase, _mm512_loadu_pd(tc + j));
+    const __m512d rhs = _mm512_sub_pd(before, vgain);
+    const __mmask8 mask = _mm512_cmp_pd_mask(after, rhs, _CMP_LT_OQ);
+    if (mask != 0) {
+      return j + static_cast<std::size_t>(
+                     __builtin_ctz(static_cast<unsigned>(mask)));
+    }
+  }
+  for (; j < j_end; ++j) {
+    const double dax = ax - px[j];
+    const double day = ay - py[j];
+    const double da = std::sqrt(dax * dax + day * day);
+    const double dbx = bx - px[j + 1];
+    const double dby = by - py[j + 1];
+    const double db = std::sqrt(dbx * dbx + dby * dby);
+    const double after = da / speed + db / speed;
+    const double before = base + tc[j];
+    if (after < before - min_gain) return j;
+  }
+  return kNpos;
+}
+
+std::size_t avx512_or_opt_scan(const double* px, const double* py,
+                               const double* tc, std::size_t k_begin,
+                               std::size_t k_end, double ix, double iy,
+                               double ex, double ey, double speed,
+                               double threshold) {
+  const __m512d vix = _mm512_set1_pd(ix), viy = _mm512_set1_pd(iy);
+  const __m512d vex = _mm512_set1_pd(ex), vey = _mm512_set1_pd(ey);
+  const __m512d vspeed = _mm512_set1_pd(speed);
+  const __m512d vthresh = _mm512_set1_pd(threshold);
+  std::size_t k = k_begin;
+  for (; k + 8 <= k_end; k += 8) {
+    const __m512d kx = _mm512_loadu_pd(px + k);
+    const __m512d ky = _mm512_loadu_pd(py + k);
+    const __m512d k1x = _mm512_loadu_pd(px + k + 1);
+    const __m512d k1y = _mm512_loadu_pd(py + k + 1);
+    const __m512d dax = _mm512_sub_pd(kx, vix);
+    const __m512d day = _mm512_sub_pd(ky, viy);
+    const __m512d da = _mm512_sqrt_pd(
+        _mm512_add_pd(_mm512_mul_pd(dax, dax), _mm512_mul_pd(day, day)));
+    const __m512d db = dist8(k1x, k1y, vex, vey);
+    const __m512d cost = _mm512_sub_pd(
+        _mm512_add_pd(_mm512_div_pd(da, vspeed), _mm512_div_pd(db, vspeed)),
+        _mm512_loadu_pd(tc + k));
+    const __mmask8 mask = _mm512_cmp_pd_mask(cost, vthresh, _CMP_LT_OQ);
+    if (mask != 0) {
+      return k + static_cast<std::size_t>(
+                     __builtin_ctz(static_cast<unsigned>(mask)));
+    }
+  }
+  for (; k < k_end; ++k) {
+    const double dax = px[k] - ix;
+    const double day = py[k] - iy;
+    const double da = std::sqrt(dax * dax + day * day);
+    const double dbx = ex - px[k + 1];
+    const double dby = ey - py[k + 1];
+    const double db = std::sqrt(dbx * dbx + dby * dby);
+    const double cost = da / speed + db / speed - tc[k];
+    if (cost < threshold) return k;
+  }
+  return kNpos;
+}
+
+std::size_t avx512_select_within(const double* xs, const double* ys,
+                                 std::size_t n, double cx, double cy,
+                                 double r2, const std::uint32_t* ids,
+                                 std::uint32_t* out) {
+  const __m512d vcx = _mm512_set1_pd(cx);
+  const __m512d vcy = _mm512_set1_pd(cy);
+  const __m512d vr2 = _mm512_set1_pd(r2);
+  std::size_t count = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d dx = _mm512_sub_pd(_mm512_loadu_pd(xs + i), vcx);
+    const __m512d dy = _mm512_sub_pd(_mm512_loadu_pd(ys + i), vcy);
+    const __m512d d2 =
+        _mm512_add_pd(_mm512_mul_pd(dx, dx), _mm512_mul_pd(dy, dy));
+    unsigned mask = _mm512_cmp_pd_mask(d2, vr2, _CMP_LE_OQ);
+    while (mask != 0) {
+      const int lane = __builtin_ctz(mask);
+      out[count++] = ids[i + static_cast<std::size_t>(lane)];
+      mask &= mask - 1;
+    }
+  }
+  for (; i < n; ++i) {
+    const double dx = xs[i] - cx;
+    const double dy = ys[i] - cy;
+    if (dx * dx + dy * dy <= r2) out[count++] = ids[i];
+  }
+  return count;
+}
+
+}  // namespace
+
+const KernelTable kAvx512Kernels = {
+    avx512_distance_row,  avx512_argmin_masked,
+    avx512_argmin_distance_masked,
+    avx512_min_reduce,    avx512_max_reduce,    avx512_two_opt_scan,
+    avx512_or_opt_scan,   avx512_select_within,
+};
+
+}  // namespace mcharge::simd::detail
+
+#endif  // MCHARGE_SIMD_X86

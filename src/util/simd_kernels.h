@@ -1,0 +1,58 @@
+// Internal kernel table shared between the simd dispatch layer and the
+// per-ISA translation units. Not part of the public API.
+//
+// The per-ISA TUs (simd_avx2.cpp, simd_avx512.cpp) are compiled with
+// -mavx2 / -mavx512f and -ffp-contract=off. They must include ONLY this
+// header and freestanding system headers: pulling repo headers with
+// inline FP functions (e.g. geom::distance) into a TU built with wider
+// ISA flags would let the linker pick an ISA-specialized weak definition
+// for the whole binary, breaking both portability and the bitwise
+// determinism contract.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/simd.h"
+
+#if !defined(MCHARGE_NO_SIMD) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define MCHARGE_SIMD_X86 1
+#else
+#define MCHARGE_SIMD_X86 0
+#endif
+
+namespace mcharge::simd::detail {
+
+struct KernelTable {
+  void (*distance_row)(const double* xs, const double* ys, std::size_t n,
+                       double px, double py, double* out);
+  ArgMin (*argmin_masked)(const double* values, const unsigned char* skip,
+                          std::size_t n);
+  ArgMin (*argmin_distance_masked)(const double* xs, const double* ys,
+                                   std::size_t n, double px, double py,
+                                   const unsigned char* skip);
+  double (*min_reduce)(const double* values, std::size_t n);
+  double (*max_reduce)(const double* values, std::size_t n);
+  std::size_t (*two_opt_scan)(const double* px, const double* py,
+                              const double* tc, std::size_t j_begin,
+                              std::size_t j_end, double ax, double ay,
+                              double bx, double by, double speed, double base,
+                              double min_gain);
+  std::size_t (*or_opt_scan)(const double* px, const double* py,
+                             const double* tc, std::size_t k_begin,
+                             std::size_t k_end, double ix, double iy,
+                             double ex, double ey, double speed,
+                             double threshold);
+  std::size_t (*select_within)(const double* xs, const double* ys,
+                               std::size_t n, double cx, double cy, double r2,
+                               const std::uint32_t* ids, std::uint32_t* out);
+};
+
+extern const KernelTable kScalarKernels;
+#if MCHARGE_SIMD_X86
+extern const KernelTable kAvx2Kernels;    // defined in simd_avx2.cpp
+extern const KernelTable kAvx512Kernels;  // defined in simd_avx512.cpp
+#endif
+
+}  // namespace mcharge::simd::detail

@@ -1,0 +1,397 @@
+// Kernel-vs-scalar equivalence for util/simd.h.
+//
+// The claim under test is BITWISE identity: for every backend the build
+// supports (scalar always; AVX2/AVX-512 when the CPU has them), each
+// kernel must return exactly the bits of a naive scalar loop written
+// against the documented operation sequence — including lowest-index
+// tie-breaking, odd tail lengths, masked lanes, and empty inputs. The
+// final test closes the loop end to end: a full Appro plan must be
+// identical under every backend.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "core/appro.h"
+#include "schedule/execute.h"
+#include "util/rng.h"
+#include "util/simd.h"
+
+namespace mcharge {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Pins a backend for a scope; restores the previous one on exit.
+class BackendGuard {
+ public:
+  explicit BackendGuard(simd::Backend b) : prev_(simd::active_backend()) {
+    active_ = simd::set_backend(b);
+  }
+  ~BackendGuard() { simd::set_backend(prev_); }
+  simd::Backend active() const { return active_; }
+
+ private:
+  simd::Backend prev_;
+  simd::Backend active_;
+};
+
+/// All backends this build + CPU can actually run.
+std::vector<simd::Backend> supported_backends() {
+  std::vector<simd::Backend> out{simd::Backend::kScalar};
+  for (simd::Backend b : {simd::Backend::kAvx2, simd::Backend::kAvx512}) {
+    BackendGuard guard(b);
+    if (guard.active() == b) out.push_back(b);
+  }
+  return out;
+}
+
+const std::vector<std::size_t> kLengths = {0,  1,  2,  3,  4,  5,   7,  8,
+                                           9,  15, 16, 17, 31, 32,  33, 64,
+                                           100};
+
+double dist(double x1, double y1, double x2, double y2) {
+  const double dx = x1 - x2;
+  const double dy = y1 - y2;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+struct Soa {
+  std::vector<double> xs, ys;
+};
+
+Soa random_points(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Soa p;
+  for (std::size_t i = 0; i < n; ++i) {
+    p.xs.push_back(rng.uniform(0.0, 100.0));
+    p.ys.push_back(rng.uniform(0.0, 100.0));
+  }
+  return p;
+}
+
+TEST(Simd, ScalarBackendAlwaysAvailable) {
+  BackendGuard guard(simd::Backend::kScalar);
+  EXPECT_EQ(guard.active(), simd::Backend::kScalar);
+  EXPECT_STREQ(simd::backend_name(simd::Backend::kScalar), "scalar");
+}
+
+#ifdef MCHARGE_NO_SIMD
+TEST(Simd, NoSimdBuildPinsScalar) {
+  EXPECT_EQ(simd::best_backend(), simd::Backend::kScalar);
+  BackendGuard guard(simd::Backend::kAvx512);
+  EXPECT_EQ(guard.active(), simd::Backend::kScalar);
+}
+#endif
+
+TEST(Simd, DistanceRowMatchesScalarOnAllBackends) {
+  for (std::size_t n : kLengths) {
+    const Soa p = random_points(n, 100 + n);
+    std::vector<double> expected(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      expected[i] = dist(37.5, 42.25, p.xs[i], p.ys[i]);
+    }
+    for (simd::Backend b : supported_backends()) {
+      BackendGuard guard(b);
+      std::vector<double> out(n, -1.0);
+      simd::distance_row(p.xs.data(), p.ys.data(), n, 37.5, 42.25,
+                         out.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(expected[i], out[i])
+            << "n=" << n << " i=" << i << " backend=" << static_cast<int>(b);
+      }
+    }
+  }
+}
+
+TEST(Simd, DistanceMatrixSymmetricZeroDiagonalAndScalarIdentical) {
+  for (std::size_t m : {std::size_t{1}, std::size_t{2}, std::size_t{7},
+                        std::size_t{33}}) {
+    const Soa p = random_points(m, 200 + m);
+    std::vector<double> scalar(m * m, -1.0);
+    {
+      BackendGuard guard(simd::Backend::kScalar);
+      simd::distance_matrix(p.xs.data(), p.ys.data(), m, scalar.data());
+    }
+    for (std::size_t a = 0; a < m; ++a) {
+      EXPECT_EQ(scalar[a * m + a], 0.0);
+      for (std::size_t b = 0; b < m; ++b) {
+        EXPECT_EQ(scalar[a * m + b], scalar[b * m + a]);
+        EXPECT_EQ(scalar[a * m + b], dist(p.xs[a], p.ys[a], p.xs[b], p.ys[b]));
+      }
+    }
+    for (simd::Backend b : supported_backends()) {
+      BackendGuard guard(b);
+      std::vector<double> out(m * m, -1.0);
+      simd::distance_matrix(p.xs.data(), p.ys.data(), m, out.data());
+      EXPECT_EQ(0, std::memcmp(scalar.data(), out.data(),
+                               m * m * sizeof(double)))
+          << "m=" << m << " backend=" << static_cast<int>(b);
+    }
+  }
+}
+
+TEST(Simd, ArgminMaskedMatchesSequentialScan) {
+  for (std::size_t n : kLengths) {
+    Rng rng(300 + n);
+    std::vector<double> values(n);
+    std::vector<unsigned char> skip(n);
+    // Quantized values force plenty of exact duplicates (tie-breaks).
+    for (std::size_t i = 0; i < n; ++i) {
+      values[i] = std::floor(rng.uniform(0.0, 8.0));
+      skip[i] = rng.uniform(0.0, 1.0) < 0.3 ? 1 : 0;
+    }
+    std::size_t want = simd::kNpos;
+    double want_v = kInf;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (skip[i]) continue;
+      if (values[i] < want_v) {
+        want_v = values[i];
+        want = i;
+      }
+    }
+    for (simd::Backend b : supported_backends()) {
+      BackendGuard guard(b);
+      const simd::ArgMin got =
+          simd::argmin_masked(values.data(), skip.data(), n);
+      EXPECT_EQ(want, got.index)
+          << "n=" << n << " backend=" << static_cast<int>(b);
+      if (want != simd::kNpos) {
+        EXPECT_EQ(want_v, got.value);
+      }
+    }
+  }
+}
+
+TEST(Simd, ArgminMaskedAllSkippedReturnsNpos) {
+  const std::vector<double> values(20, 1.0);
+  const std::vector<unsigned char> skip(20, 1);
+  for (simd::Backend b : supported_backends()) {
+    BackendGuard guard(b);
+    EXPECT_EQ(simd::kNpos,
+              simd::argmin_masked(values.data(), skip.data(), 20).index);
+    EXPECT_EQ(simd::kNpos, simd::argmin_masked(values.data(), skip.data(), 0)
+                               .index);
+  }
+}
+
+TEST(Simd, ArgminTieBreaksToLowestIndexAcrossLaneBoundaries) {
+  // Duplicated minima placed across 4- and 8-lane boundaries: a reduction
+  // that prefers a later lane (or the wrong half) would return the wrong
+  // index while still returning the right value.
+  for (std::size_t first : {std::size_t{1}, std::size_t{3}, std::size_t{8},
+                            std::size_t{11}}) {
+    for (std::size_t second : {std::size_t{16}, std::size_t{19},
+                               std::size_t{24}}) {
+      std::vector<double> values(33, 5.0);
+      values[first] = 1.0;
+      values[second] = 1.0;
+      for (simd::Backend b : supported_backends()) {
+        BackendGuard guard(b);
+        const simd::ArgMin got =
+            simd::argmin_masked(values.data(), nullptr, values.size());
+        EXPECT_EQ(first, got.index) << "backend=" << static_cast<int>(b);
+        EXPECT_EQ(1.0, got.value);
+      }
+    }
+  }
+}
+
+TEST(Simd, ArgminDistanceMaskedMatchesScalarWithDuplicatePoints) {
+  for (std::size_t n : kLengths) {
+    Soa p = random_points(n, 400 + n);
+    // Duplicate coordinates (exact copies) create distance ties.
+    for (std::size_t i = 3; i + 1 < n; i += 4) {
+      p.xs[i + 1] = p.xs[i];
+      p.ys[i + 1] = p.ys[i];
+    }
+    Rng rng(500 + n);
+    std::vector<unsigned char> skip(n);
+    for (auto& s : skip) s = rng.uniform(0.0, 1.0) < 0.25 ? 1 : 0;
+    for (const unsigned char* mask :
+         {static_cast<const unsigned char*>(skip.data()),
+          static_cast<const unsigned char*>(nullptr)}) {
+      std::size_t want = simd::kNpos;
+      double want_v = kInf;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (mask && mask[i]) continue;
+        const double d = dist(60.0, 40.0, p.xs[i], p.ys[i]);
+        if (d < want_v) {
+          want_v = d;
+          want = i;
+        }
+      }
+      for (simd::Backend b : supported_backends()) {
+        BackendGuard guard(b);
+        const simd::ArgMin got = simd::argmin_distance_masked(
+            p.xs.data(), p.ys.data(), n, 60.0, 40.0, mask);
+        EXPECT_EQ(want, got.index)
+            << "n=" << n << " backend=" << static_cast<int>(b);
+        if (want != simd::kNpos) {
+        EXPECT_EQ(want_v, got.value);
+      }
+      }
+    }
+  }
+}
+
+TEST(Simd, MinMaxReduceMatchScalar) {
+  for (std::size_t n : kLengths) {
+    Rng rng(600 + n);
+    std::vector<double> values(n);
+    for (auto& v : values) v = rng.uniform(-50.0, 50.0);
+    double want_min = kInf, want_max = -kInf;
+    for (double v : values) {
+      if (v < want_min) want_min = v;
+      if (v > want_max) want_max = v;
+    }
+    for (simd::Backend b : supported_backends()) {
+      BackendGuard guard(b);
+      EXPECT_EQ(want_min, simd::min_reduce(values.data(), n)) << "n=" << n;
+      EXPECT_EQ(want_max, simd::max_reduce(values.data(), n)) << "n=" << n;
+    }
+  }
+}
+
+TEST(Simd, TwoOptScanMatchesScalarLoop) {
+  for (std::size_t n : {std::size_t{4}, std::size_t{9}, std::size_t{40}}) {
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+      const Soa p = random_points(n + 1, 700 * n + seed);
+      Rng rng(800 * n + seed);
+      const double ax = rng.uniform(0.0, 100.0);
+      const double ay = rng.uniform(0.0, 100.0);
+      const double bx = rng.uniform(0.0, 100.0);
+      const double by = rng.uniform(0.0, 100.0);
+      const double speed = rng.uniform(0.5, 3.0);
+      const double base = rng.uniform(0.0, 60.0);
+      const double min_gain = seed % 3 == 0 ? 0.0 : 1e-9;
+      const std::size_t j_begin = seed % n;
+      std::vector<double> tc(n);
+      for (std::size_t j = 0; j < n; ++j) {
+        tc[j] = dist(p.xs[j], p.ys[j], p.xs[j + 1], p.ys[j + 1]) / speed;
+      }
+      std::size_t want = simd::kNpos;
+      for (std::size_t j = j_begin; j < n; ++j) {
+        const double da = dist(ax, ay, p.xs[j], p.ys[j]);
+        const double db = dist(bx, by, p.xs[j + 1], p.ys[j + 1]);
+        const double after = da / speed + db / speed;
+        const double before = base + tc[j];
+        if (after < before - min_gain) {
+          want = j;
+          break;
+        }
+      }
+      for (simd::Backend b : supported_backends()) {
+        BackendGuard guard(b);
+        EXPECT_EQ(want, simd::two_opt_scan(p.xs.data(), p.ys.data(), tc.data(),
+                                           j_begin, n, ax, ay, bx, by, speed,
+                                           base, min_gain))
+            << "n=" << n << " seed=" << seed
+            << " backend=" << static_cast<int>(b);
+      }
+    }
+  }
+}
+
+TEST(Simd, OrOptScanMatchesScalarLoop) {
+  for (std::size_t n : {std::size_t{4}, std::size_t{9}, std::size_t{40}}) {
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+      const Soa p = random_points(n + 1, 900 * n + seed);
+      Rng rng(1000 * n + seed);
+      const double ix = rng.uniform(0.0, 100.0);
+      const double iy = rng.uniform(0.0, 100.0);
+      const double ex = rng.uniform(0.0, 100.0);
+      const double ey = rng.uniform(0.0, 100.0);
+      const double speed = rng.uniform(0.5, 3.0);
+      const double threshold = rng.uniform(-5.0, 30.0);
+      const std::size_t k_begin = seed % n;
+      std::vector<double> tc(n);
+      for (std::size_t k = 0; k < n; ++k) {
+        tc[k] = dist(p.xs[k], p.ys[k], p.xs[k + 1], p.ys[k + 1]) / speed;
+      }
+      std::size_t want = simd::kNpos;
+      for (std::size_t k = k_begin; k < n; ++k) {
+        const double da = dist(p.xs[k], p.ys[k], ix, iy);
+        const double db = dist(ex, ey, p.xs[k + 1], p.ys[k + 1]);
+        const double cost = (da / speed + db / speed) - tc[k];
+        if (cost < threshold) {
+          want = k;
+          break;
+        }
+      }
+      for (simd::Backend b : supported_backends()) {
+        BackendGuard guard(b);
+        EXPECT_EQ(want,
+                  simd::or_opt_scan(p.xs.data(), p.ys.data(), tc.data(),
+                                    k_begin, n, ix, iy, ex, ey, speed,
+                                    threshold))
+            << "n=" << n << " seed=" << seed
+            << " backend=" << static_cast<int>(b);
+      }
+    }
+  }
+}
+
+TEST(Simd, SelectWithinMatchesScalarFilter) {
+  for (std::size_t n : kLengths) {
+    const Soa p = random_points(n, 1100 + n);
+    std::vector<std::uint32_t> ids(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ids[i] = static_cast<std::uint32_t>(7 * i + 3);
+    }
+    const double cx = 50.0, cy = 50.0, r2 = 30.0 * 30.0;
+    std::vector<std::uint32_t> want;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double dx = p.xs[i] - cx;
+      const double dy = p.ys[i] - cy;
+      if (dx * dx + dy * dy <= r2) want.push_back(ids[i]);
+    }
+    for (simd::Backend b : supported_backends()) {
+      BackendGuard guard(b);
+      std::vector<std::uint32_t> out(n + 1, 0xdeadbeef);
+      const std::size_t kept = simd::select_within(
+          p.xs.data(), p.ys.data(), n, cx, cy, r2, ids.data(), out.data());
+      ASSERT_EQ(want.size(), kept)
+          << "n=" << n << " backend=" << static_cast<int>(b);
+      for (std::size_t i = 0; i < kept; ++i) EXPECT_EQ(want[i], out[i]);
+    }
+  }
+}
+
+TEST(Simd, ApproPlanIsByteIdenticalAcrossBackends) {
+  // End-to-end regression of the bitwise-identity contract: the full Appro
+  // pipeline (grid queries, MIS, blossom, Christofides, 2-opt/Or-opt,
+  // min-max split) must produce the same tours and the same schedule bits
+  // no matter which backend served the kernels.
+  Rng rng(42);
+  std::vector<geom::Point> pts;
+  std::vector<double> deficits;
+  for (std::size_t i = 0; i < 250; ++i) {
+    pts.push_back({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)});
+    deficits.push_back(rng.uniform(3456.0, 5400.0));
+  }
+  const model::ChargingProblem problem(std::move(pts), std::move(deficits),
+                                       {50.0, 50.0}, 2.7, 1.0, 2);
+  core::ApproScheduler appro;
+
+  sched::ChargingPlan scalar_plan;
+  double scalar_delay = 0.0;
+  {
+    BackendGuard guard(simd::Backend::kScalar);
+    scalar_plan = appro.plan(problem);
+    scalar_delay = sched::execute_plan(problem, scalar_plan).longest_delay();
+  }
+  for (simd::Backend b : supported_backends()) {
+    BackendGuard guard(b);
+    const sched::ChargingPlan plan = appro.plan(problem);
+    EXPECT_EQ(scalar_plan.tours, plan.tours)
+        << "backend=" << static_cast<int>(b);
+    const double delay = sched::execute_plan(problem, plan).longest_delay();
+    EXPECT_EQ(scalar_delay, delay) << "backend=" << static_cast<int>(b);
+  }
+}
+
+}  // namespace
+}  // namespace mcharge

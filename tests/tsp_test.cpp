@@ -444,6 +444,65 @@ TEST(DistanceCache, StaleSizeIsRebuilt) {
   EXPECT_EQ(p.distance(0, 10), geom::distance(p.sites[0], p.sites[10]));
 }
 
+TEST(DistanceCache, EmptyProblemBuildIsANoOpButCounts) {
+  TourProblem p;
+  EXPECT_FALSE(p.has_distance_cache());
+  p.ensure_distance_cache();
+  // m == 0 allocates nothing, but the build is remembered: repeated
+  // ensure/drop cycles on empty subproblems must stay allocation-free.
+  EXPECT_TRUE(p.has_distance_cache());
+  EXPECT_EQ(p.depot_distance_ptr(), nullptr);
+  EXPECT_EQ(p.soa_x(), nullptr);
+  p.drop_distance_cache();
+  EXPECT_FALSE(p.has_distance_cache());
+}
+
+TEST(DistanceCache, SingleSiteBuildIsANoOp) {
+  TourProblem p;
+  p.sites.push_back({3.0, 4.0});
+  p.service.push_back(1.0);
+  p.ensure_distance_cache();
+  EXPECT_TRUE(p.has_distance_cache());
+  // No tables for a single site; queries fall through to on-the-fly
+  // geometry and stay bitwise-correct.
+  EXPECT_EQ(p.depot_distance_ptr(), nullptr);
+  EXPECT_EQ(p.distance_row_ptr(0), nullptr);
+  EXPECT_EQ(p.distance_depot(0), 5.0);
+  EXPECT_EQ(p.distance(0, 0), 0.0);
+}
+
+TEST(DistanceCache, SingleSiteStaysCurrentUntilSitesGrow) {
+  TourProblem p;
+  p.sites.push_back({3.0, 4.0});
+  p.service.push_back(1.0);
+  p.ensure_distance_cache();
+  ASSERT_TRUE(p.has_distance_cache());
+  p.sites.push_back({6.0, 8.0});
+  p.service.push_back(1.0);
+  EXPECT_FALSE(p.has_distance_cache());
+  p.ensure_distance_cache();
+  ASSERT_TRUE(p.has_distance_cache());
+  ASSERT_NE(p.distance_row_ptr(0), nullptr);
+  EXPECT_EQ(p.distance(0, 1), 5.0);
+}
+
+TEST(DistanceCache, RowPointersMatchQueries) {
+  Rng rng(58);
+  const TourProblem p = random_problem(17, rng);
+  p.ensure_distance_cache();
+  ASSERT_NE(p.depot_distance_ptr(), nullptr);
+  for (SiteId a = 0; a < p.size(); ++a) {
+    EXPECT_EQ(p.depot_distance_ptr()[a], p.distance_depot(a));
+    const double* row = p.distance_row_ptr(a);
+    ASSERT_NE(row, nullptr);
+    for (SiteId b = 0; b < p.size(); ++b) {
+      EXPECT_EQ(row[b], p.distance(a, b));
+    }
+    EXPECT_EQ(p.soa_x()[a], p.sites[a].x);
+    EXPECT_EQ(p.soa_y()[a], p.sites[a].y);
+  }
+}
+
 TEST(DistanceCache, TwoOptIdenticalWithAndWithoutCache) {
   Rng rng(55);
   const TourProblem uncached = random_problem(80, rng);
