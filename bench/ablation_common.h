@@ -1,0 +1,165 @@
+// Shared reduction + emission for the two ablation benches, factored out
+// so merge_shards can replay them from chunk files: the unsharded bench
+// and the merged shards run the exact same instance-order reduction over
+// the exact same per-item doubles, making the outputs byte-identical by
+// construction.
+//
+// Both benches share the sharding flags:
+//   --shard=i/N     run only work items with global index = i mod N and
+//                   write a chunk file instead of the table
+//   --chunk=PATH    chunk file path for --shard mode
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "shard_chunk.h"
+
+#include "util/cli.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace mcharge::bench {
+
+/// --shard=i/N / --chunk=PATH parsing, shared by the ablation benches
+/// (the figure benches carry the same fields inside SweepSettings).
+struct ShardSpec {
+  std::size_t index = 0;
+  std::size_t count = 1;
+  std::string chunk_path;
+
+  bool active() const { return count > 1; }
+  /// True when work item `idx` belongs to this shard.
+  bool mine(std::size_t idx) const {
+    return count <= 1 || idx % count == index;
+  }
+
+  static ShardSpec from_flags(const CliFlags& flags) {
+    ShardSpec s;
+    const std::string shard = flags.get("shard", "");
+    if (shard.empty()) return s;
+    if (std::sscanf(shard.c_str(), "%zu/%zu", &s.index, &s.count) != 2 ||
+        s.count == 0 || s.index >= s.count) {
+      std::fprintf(stderr, "bad --shard=%s (want i/N with 0 <= i < N)\n",
+                   shard.c_str());
+      std::exit(2);
+    }
+    s.chunk_path = flags.get("chunk", "");
+    if (s.count > 1 && s.chunk_path.empty()) {
+      std::fprintf(stderr, "--shard requires --chunk=PATH\n");
+      std::exit(2);
+    }
+    return s;
+  }
+};
+
+/// Writes a shard's chunk file and prints the one-line receipt the figure
+/// benches also emit. Returns the process exit code.
+inline int finish_shard(const ShardSpec& shard, const ChunkFile& chunk) {
+  if (!write_chunk(shard.chunk_path, chunk)) {
+    std::fprintf(stderr, "cannot write chunk file %s\n",
+                 shard.chunk_path.c_str());
+    return 1;
+  }
+  std::printf("shard %zu/%zu: %zu item(s) -> %s\n", shard.index, shard.count,
+              chunk.items.size(), shard.chunk_path.c_str());
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// ablation_design: one item per (variant, round), variant-major.
+
+struct DesignItem {
+  double delay_h = 0.0;
+  double stops = 0.0;
+  double wait_s = 0.0;
+  std::size_t violations = 0;
+  bool present = false;
+};
+
+/// Reduces the (variant, round) grid in round order per variant and prints
+/// the design-ablation table. `items` is variant-major (a * rounds + r).
+inline void emit_design_ablation(std::size_t n, std::size_t k,
+                                 std::size_t rounds,
+                                 const std::vector<std::string>& algo_names,
+                                 const std::vector<DesignItem>& items) {
+  Table table({"variant", "mean_delay_h", "max_delay_h", "mean_stops",
+               "mean_wait_s", "violations"});
+  for (std::size_t a = 0; a < algo_names.size(); ++a) {
+    RunningStats delay, stops, wait;
+    std::size_t violations = 0;
+    for (std::size_t r = 0; r < rounds; ++r) {
+      const DesignItem& item = items[a * rounds + r];
+      delay.add(item.delay_h);
+      stops.add(item.stops);
+      wait.add(item.wait_s);
+      violations += item.violations;
+    }
+    table.start_row();
+    table.add(algo_names[a]);
+    table.add(delay.mean(), 3);
+    table.add(delay.max(), 3);
+    table.add(stops.mean(), 1);
+    table.add(wait.mean(), 1);
+    table.add(static_cast<long long>(violations));
+  }
+  std::printf("Appro design ablation: n=%zu, K=%zu, %zu fresh rounds\n\n", n,
+              k, rounds);
+  table.print(std::cout);
+}
+
+// ---------------------------------------------------------------------------
+// ablation_policy: one item per (algorithm, policy, instance),
+// algorithm-major then policy.
+
+struct PolicyItem {
+  double rounds = 0.0;
+  double batch = 0.0;
+  double tour_h = 0.0;
+  double dead_min = 0.0;
+  double stops_ratio = 1.0;
+  bool present = false;
+};
+
+/// Reduces the (algorithm, policy, instance) grid in instance order per
+/// cell and prints the policy-ablation table. `items` is indexed as
+/// (a * num_policies + p) * instances + i.
+inline void emit_policy_ablation(std::size_t n, std::size_t k,
+                                 std::size_t instances, double months,
+                                 const std::vector<std::string>& algo_names,
+                                 const std::vector<std::string>& policy_names,
+                                 const std::vector<PolicyItem>& items) {
+  Table table({"algorithm", "policy", "rounds", "mean_batch",
+               "mean_tour_h", "dead_min_per_sensor", "charged_per_batch"});
+  for (std::size_t a = 0; a < algo_names.size(); ++a) {
+    for (std::size_t p = 0; p < policy_names.size(); ++p) {
+      RunningStats rounds, batch, tour, dead, stops_ratio;
+      for (std::size_t i = 0; i < instances; ++i) {
+        const PolicyItem& item =
+            items[(a * policy_names.size() + p) * instances + i];
+        rounds.add(item.rounds);
+        batch.add(item.batch);
+        tour.add(item.tour_h);
+        dead.add(item.dead_min);
+        stops_ratio.add(item.stops_ratio);
+      }
+      table.start_row();
+      table.add(algo_names[a]);
+      table.add(policy_names[p]);
+      table.add(rounds.mean(), 0);
+      table.add(batch.mean(), 1);
+      table.add(tour.mean(), 2);
+      table.add(dead.mean(), 1);
+      table.add(stops_ratio.mean(), 3);
+    }
+  }
+  std::printf("Dispatch-policy ablation: n=%zu, K=%zu, %zu instance(s), "
+              "%.1f months\n\n",
+              n, k, instances, months);
+  table.print(std::cout);
+}
+
+}  // namespace mcharge::bench

@@ -13,6 +13,10 @@
 //   --seed=S        base RNG seed                 (default 1)
 //   --jobs=N        worker threads; 0 = all hardware threads (default),
 //                   1 = serial. Output is byte-identical for every N.
+//   --sim-jobs=N    worker threads *inside* each simulation's per-sensor
+//                   scans (default 1 = serial; 0 = all hardware threads).
+//                   Byte-identical for every N; useful when a single huge
+//                   instance dominates instead of many parallel items.
 //   --csv=PREFIX    also write PREFIX_a.csv / PREFIX_b.csv
 //   --shard=i/N     run only work items with global index = i mod N and
 //                   write a chunk file instead of tables (requires --chunk).
@@ -62,6 +66,12 @@ struct SweepSettings {
   /// Worker threads for the (instance, algorithm) work items; 0 = all
   /// hardware threads, 1 = serial. Never affects the numbers, only speed.
   std::size_t jobs = 0;
+  /// Worker threads inside each simulation's per-sensor scans
+  /// (SimConfig::jobs). Defaults to serial: the item-level fan-out above
+  /// already saturates the machine on normal sweeps, so nested pools
+  /// would only add contention. Raise it for single-instance runs at
+  /// large n. Never affects the numbers, only speed.
+  std::size_t sim_jobs = 1;
   std::string csv_prefix;  ///< empty = no CSV files
   /// Sensor placement. The paper uses uniform; --layout=clustered/grid
   /// checks that the conclusions survive other deployment shapes.
@@ -79,6 +89,7 @@ struct SweepSettings {
     s.months = flags.get_double("months", 12.0);
     s.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
     s.jobs = static_cast<std::size_t>(flags.get_int("jobs", 0));
+    s.sim_jobs = static_cast<std::size_t>(flags.get_int("sim-jobs", 1));
     s.csv_prefix = flags.get("csv", "");
     const std::string layout = flags.get("layout", "uniform");
     if (layout == "clustered") s.layout = model::FieldLayout::kClustered;
@@ -138,6 +149,7 @@ std::vector<ItemSample> run_point_samples(
     MakeInstance&& make_instance, std::size_t point_idx = 0) {
   sim::SimConfig sim_config;
   sim_config.monitoring_period_s = settings.months * 30.0 * 86400.0;
+  sim_config.jobs = settings.sim_jobs;
 
   const std::size_t num_algos = algorithms.size();
   const std::size_t stride = settings.instances * num_algos;
@@ -300,6 +312,7 @@ class FigureSweep {
  private:
   int write_shard_chunk() const {
     ChunkFile chunk;
+    chunk.kind = "figure";
     chunk.figure = figure_;
     chunk.knob = knob_;
     chunk.seed = settings_.seed;
@@ -314,8 +327,8 @@ class FigureSweep {
         const ItemSample& item = samples_[p][idx];
         if (!item.present) continue;
         chunk.items.push_back({p, idx / algorithms_.size(),
-                               idx % algorithms_.size(), item.tour, item.dead,
-                               item.violations});
+                               idx % algorithms_.size(), item.violations,
+                               {item.tour, item.dead}});
       }
     }
     if (!write_chunk(settings_.chunk_path, chunk)) {

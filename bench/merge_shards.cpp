@@ -1,72 +1,43 @@
-// Merges --shard=i/N chunk files from a figure bench back into the
-// figure output. Usage:
+// Merges --shard=i/N chunk files from a sharded bench (figure sweeps,
+// ablation_design, ablation_policy) back into the bench output. Usage:
 //
 //   merge_shards [--csv=PREFIX] chunk0 chunk1 ... chunkN-1
 //
 // The merged stdout is byte-identical to the unsharded bench run with the
 // same settings: the chunks carry the raw per-item simulator doubles in
 // hexfloat (exact round-trip), and this tool replays the same
-// instance-order reduction (bench::reduce_point) and table printer
-// (bench::emit_figure) the bench itself uses.
+// deterministic reduction and table printer the bench itself uses
+// (bench::reduce_point + bench::emit_figure for figures,
+// bench::emit_design_ablation / bench::emit_policy_ablation for the
+// ablations). The chunk's `kind` header selects the replay path.
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "ablation_common.h"
 #include "figure_common.h"
 #include "shard_chunk.h"
 
-int main(int argc, char** argv) {
-  using namespace mcharge;
-  const CliFlags flags(argc, argv);
-  std::vector<std::string> paths;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--", 2) != 0) paths.emplace_back(argv[i]);
-  }
-  if (paths.empty()) {
-    std::fprintf(stderr,
-                 "usage: merge_shards [--csv=PREFIX] chunk0 chunk1 ...\n");
-    return 2;
-  }
+namespace {
 
-  std::vector<bench::ChunkFile> chunks(paths.size());
-  std::string error;
-  for (std::size_t i = 0; i < paths.size(); ++i) {
-    if (!bench::read_chunk(paths[i], &chunks[i], &error)) {
-      std::fprintf(stderr, "merge_shards: %s\n", error.c_str());
-      return 1;
-    }
-  }
+using namespace mcharge;
 
-  // Every chunk must come from the same sweep (same figure, settings and
-  // point grid), and together they must cover each shard exactly once.
+bool item_in_range(const bench::ChunkItem& it, std::size_t num_points,
+                   std::size_t num_insts, std::size_t num_algos,
+                   std::size_t num_values) {
+  return it.point < num_points && it.inst < num_insts &&
+         it.algo < num_algos && it.values.size() == num_values;
+}
+
+int fail(const char* why) {
+  std::fprintf(stderr, "merge_shards: %s\n", why);
+  return 1;
+}
+
+int merge_figure(const std::vector<bench::ChunkFile>& chunks,
+                 const CliFlags& flags) {
   const bench::ChunkFile& head = chunks.front();
-  std::vector<char> shard_seen(head.shard_count, 0);
-  for (const auto& c : chunks) {
-    if (c.figure != head.figure || c.knob != head.knob ||
-        c.seed != head.seed || c.instances != head.instances ||
-        c.months != head.months || c.shard_count != head.shard_count ||
-        c.algo_names != head.algo_names || c.labels != head.labels) {
-      std::fprintf(stderr,
-                   "merge_shards: chunks disagree on sweep settings "
-                   "(mixing different runs?)\n");
-      return 1;
-    }
-    if (c.shard_index >= c.shard_count || shard_seen[c.shard_index]) {
-      std::fprintf(stderr, "merge_shards: duplicate or bad shard %zu/%zu\n",
-                   c.shard_index, c.shard_count);
-      return 1;
-    }
-    shard_seen[c.shard_index] = 1;
-  }
-  for (std::size_t s = 0; s < head.shard_count; ++s) {
-    if (!shard_seen[s]) {
-      std::fprintf(stderr, "merge_shards: shard %zu/%zu missing\n", s,
-                   head.shard_count);
-      return 1;
-    }
-  }
-
   const std::size_t num_algos = head.algo_names.size();
   const std::size_t num_points = head.labels.size();
   const std::size_t stride = head.instances * num_algos;
@@ -74,20 +45,13 @@ int main(int argc, char** argv) {
       num_points, std::vector<bench::ItemSample>(stride));
   for (const auto& c : chunks) {
     for (const bench::ChunkItem& it : c.items) {
-      if (it.point >= num_points || it.inst >= head.instances ||
-          it.algo >= num_algos) {
-        std::fprintf(stderr, "merge_shards: item out of range\n");
-        return 1;
+      if (!item_in_range(it, num_points, head.instances, num_algos, 2)) {
+        return fail("item out of range");
       }
-      bench::ItemSample& slot = samples[it.point][it.inst * num_algos + it.algo];
-      if (slot.present) {
-        std::fprintf(stderr,
-                     "merge_shards: duplicate item (point %zu, instance "
-                     "%zu, algorithm %zu)\n",
-                     it.point, it.inst, it.algo);
-        return 1;
-      }
-      slot = {it.tour, it.dead, it.violations, true};
+      bench::ItemSample& slot =
+          samples[it.point][it.inst * num_algos + it.algo];
+      if (slot.present) return fail("duplicate item");
+      slot = {it.values[0], it.values[1], it.violations, true};
     }
   }
   for (std::size_t p = 0; p < num_points; ++p) {
@@ -115,4 +79,134 @@ int main(int argc, char** argv) {
   bench::emit_figure(head.figure, head.knob, head.labels, head.algo_names,
                      points, settings);
   return 0;
+}
+
+bool parse_param(const bench::ChunkFile& chunk, const char* name,
+                 std::size_t* out) {
+  const std::string value = chunk.param(name);
+  return !value.empty() && std::sscanf(value.c_str(), "%zu", out) == 1;
+}
+
+int merge_ablation_design(const std::vector<bench::ChunkFile>& chunks) {
+  const bench::ChunkFile& head = chunks.front();
+  std::size_t n = 0, k = 0;
+  if (!parse_param(head, "n", &n) || !parse_param(head, "chargers", &k)) {
+    return fail("ablation_design chunk missing n/chargers params");
+  }
+  const std::size_t num_algos = head.algo_names.size();
+  const std::size_t rounds = head.instances;
+  std::vector<bench::DesignItem> items(num_algos * rounds);
+  for (const auto& c : chunks) {
+    for (const bench::ChunkItem& it : c.items) {
+      if (!item_in_range(it, 1, rounds, num_algos, 3)) {
+        return fail("item out of range");
+      }
+      bench::DesignItem& slot = items[it.algo * rounds + it.inst];
+      if (slot.present) return fail("duplicate item");
+      slot = {it.values[0], it.values[1], it.values[2], it.violations, true};
+    }
+  }
+  for (std::size_t a = 0; a < num_algos; ++a) {
+    for (std::size_t r = 0; r < rounds; ++r) {
+      if (!items[a * rounds + r].present) {
+        std::fprintf(stderr,
+                     "merge_shards: missing item (variant %zu, round %zu)\n",
+                     a, r);
+        return 1;
+      }
+    }
+  }
+  bench::emit_design_ablation(n, k, rounds, head.algo_names, items);
+  return 0;
+}
+
+int merge_ablation_policy(const std::vector<bench::ChunkFile>& chunks) {
+  const bench::ChunkFile& head = chunks.front();
+  std::size_t n = 0, k = 0;
+  if (!parse_param(head, "n", &n) || !parse_param(head, "chargers", &k)) {
+    return fail("ablation_policy chunk missing n/chargers params");
+  }
+  const std::size_t num_algos = head.algo_names.size();
+  const std::size_t num_policies = head.labels.size();
+  const std::size_t instances = head.instances;
+  std::vector<bench::PolicyItem> items(num_algos * num_policies * instances);
+  for (const auto& c : chunks) {
+    for (const bench::ChunkItem& it : c.items) {
+      if (!item_in_range(it, num_policies, instances, num_algos, 5)) {
+        return fail("item out of range");
+      }
+      bench::PolicyItem& slot =
+          items[(it.algo * num_policies + it.point) * instances + it.inst];
+      if (slot.present) return fail("duplicate item");
+      slot = {it.values[0], it.values[1], it.values[2], it.values[3],
+              it.values[4], true};
+    }
+  }
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (!items[i].present) {
+      std::fprintf(stderr, "merge_shards: missing item (flat index %zu)\n", i);
+      return 1;
+    }
+  }
+  bench::emit_policy_ablation(n, k, instances, head.months, head.algo_names,
+                              head.labels, items);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliFlags flags(argc, argv);
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) != 0) paths.emplace_back(argv[i]);
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr,
+                 "usage: merge_shards [--csv=PREFIX] chunk0 chunk1 ...\n");
+    return 2;
+  }
+
+  std::vector<bench::ChunkFile> chunks(paths.size());
+  std::string error;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    if (!bench::read_chunk(paths[i], &chunks[i], &error)) {
+      std::fprintf(stderr, "merge_shards: %s\n", error.c_str());
+      return 1;
+    }
+  }
+
+  // Every chunk must come from the same run (same kind, settings and
+  // grids), and together they must cover each shard exactly once.
+  const bench::ChunkFile& head = chunks.front();
+  std::vector<char> shard_seen(head.shard_count, 0);
+  for (const auto& c : chunks) {
+    if (c.kind != head.kind || c.figure != head.figure ||
+        c.knob != head.knob || c.seed != head.seed ||
+        c.instances != head.instances || c.months != head.months ||
+        c.shard_count != head.shard_count || c.params != head.params ||
+        c.algo_names != head.algo_names || c.labels != head.labels) {
+      return fail("chunks disagree on run settings (mixing different runs?)");
+    }
+    if (c.shard_index >= c.shard_count || shard_seen[c.shard_index]) {
+      std::fprintf(stderr, "merge_shards: duplicate or bad shard %zu/%zu\n",
+                   c.shard_index, c.shard_count);
+      return 1;
+    }
+    shard_seen[c.shard_index] = 1;
+  }
+  for (std::size_t s = 0; s < head.shard_count; ++s) {
+    if (!shard_seen[s]) {
+      std::fprintf(stderr, "merge_shards: shard %zu/%zu missing\n", s,
+                   head.shard_count);
+      return 1;
+    }
+  }
+
+  if (head.kind == "figure") return merge_figure(chunks, flags);
+  if (head.kind == "ablation_design") return merge_ablation_design(chunks);
+  if (head.kind == "ablation_policy") return merge_ablation_policy(chunks);
+  std::fprintf(stderr, "merge_shards: unknown chunk kind '%s'\n",
+               head.kind.c_str());
+  return 1;
 }

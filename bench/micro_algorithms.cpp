@@ -374,6 +374,35 @@ void BM_ParallelSweep(benchmark::State& state) {
 BENCHMARK(BM_ParallelSweep)->Arg(1)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
+void BM_Simulate(benchmark::State& state) {
+  // One month of simulated time under Appro at n sensors with the given
+  // SimConfig::jobs (0 = all hardware threads). Exercises the SoA drain
+  // scans (simd::crossing_min / simd::advance_select_below) plus the
+  // per-round scheduling; results are byte-identical at every job count,
+  // only the wall clock moves. shard_grain is left at its default, so
+  // jobs > 1 only splits the scans once n clears it — exactly the
+  // production heuristic under test.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto jobs = static_cast<std::size_t>(state.range(1));
+  Rng rng(23);
+  model::NetworkConfig config;
+  config.num_chargers = 4;
+  const auto instance = model::make_instance(config, n, rng);
+  core::ApproScheduler appro;
+  sim::SimConfig sim_config;
+  sim_config.monitoring_period_s = 30.0 * 86400.0;
+  sim_config.jobs = jobs;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate(instance, appro, sim_config));
+  }
+}
+BENCHMARK(BM_Simulate)
+    ->Args({200, 1})
+    ->Args({1200, 1})
+    ->Args({5000, 1})
+    ->Args({5000, 0})
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 BENCHMARK_MAIN();

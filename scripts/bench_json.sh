@@ -24,8 +24,9 @@ FILTER=""
 for arg in "$@"; do
   case "$arg" in
     --quick)
-      # The distance-cache, simd-kernel and parallel-sweep trajectory benches.
-      FILTER="--benchmark_filter=BM_(TwoOpt|TwoOptCached|OrOpt|OrOptCached|DistanceCacheBuild|SimdDistanceMatrix|SimdArgminScan|ParallelSweep|ApproPlan)" ;;
+      # The distance-cache, simd-kernel, parallel-sweep and simulator-loop
+      # trajectory benches.
+      FILTER="--benchmark_filter=BM_(TwoOpt|TwoOptCached|OrOpt|OrOptCached|DistanceCacheBuild|SimdDistanceMatrix|SimdArgminScan|ParallelSweep|ApproPlan|Simulate)" ;;
     --filter=*)
       FILTER="--benchmark_filter=${arg#--filter=}" ;;
     *)

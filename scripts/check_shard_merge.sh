@@ -1,0 +1,53 @@
+#!/usr/bin/env sh
+# Byte-identity check for the sharded bench path: runs each shardable
+# bench once unsharded and once as three --shard=i/3 slices merged with
+# merge_shards, and `cmp`s the outputs. Any drift — a reduction-order
+# change, a lossy chunk encoding, a mapping bug — fails the script.
+#
+# Small grids on purpose: this validates the sharding machinery, not the
+# figures. Takes well under a minute on a laptop build.
+#
+# Usage:
+#   scripts/check_shard_merge.sh
+#   BUILD_DIR=other-build scripts/check_shard_merge.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+BENCH="$BUILD_DIR/bench"
+
+for bin in fig3_vary_n ablation_design ablation_policy merge_shards; do
+  if [ ! -x "$BENCH/$bin" ]; then
+    echo "building $bin ..." >&2
+    cmake -B "$BUILD_DIR" -S . >/dev/null
+    cmake --build "$BUILD_DIR" -j --target "$bin" >/dev/null
+  fi
+done
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# check <name> <bench binary> [bench args...]: unsharded vs 3-way merged.
+check() {
+  name="$1"; bin="$2"; shift 2
+  "$BENCH/$bin" "$@" > "$TMP/$name.full.txt"
+  for i in 0 1 2; do
+    "$BENCH/$bin" "$@" --shard="$i/3" --chunk="$TMP/$name.$i.chunk" \
+      > /dev/null
+  done
+  "$BENCH/merge_shards" "$TMP/$name.0.chunk" "$TMP/$name.1.chunk" \
+    "$TMP/$name.2.chunk" > "$TMP/$name.merged.txt"
+  if ! cmp -s "$TMP/$name.full.txt" "$TMP/$name.merged.txt"; then
+    echo "FAIL: $name sharded+merged output differs from unsharded" >&2
+    diff "$TMP/$name.full.txt" "$TMP/$name.merged.txt" >&2 || true
+    exit 1
+  fi
+  echo "OK: $name"
+}
+
+check figure          fig3_vary_n     --instances=2 --months=0.25
+check ablation_design ablation_design --n=120 --chargers=2 --rounds=3
+check ablation_policy ablation_policy --n=100 --chargers=2 --instances=2 \
+                                      --months=1
+
+echo "shard merge byte-identity: all checks passed"

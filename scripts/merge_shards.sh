@@ -1,8 +1,9 @@
 #!/usr/bin/env sh
-# Merges figure-bench shard chunks into the final figure output.
+# Merges bench shard chunks (figure sweeps, ablation_design,
+# ablation_policy) into the final bench output.
 #
 # A sharded sweep splits the (point, instance, algorithm) work items of a
-# figure bench across N independent processes (or machines):
+# bench across N independent processes (or machines):
 #
 #   build/bench/fig3_vary_n --instances=100 --shard=0/4 --chunk=fig3.0.chunk
 #   build/bench/fig3_vary_n --instances=100 --shard=1/4 --chunk=fig3.1.chunk

@@ -6,6 +6,7 @@
 
 #include "core/overlap_graph.h"
 #include "util/assert.h"
+#include "util/simd.h"
 
 namespace mcharge::core {
 
@@ -18,13 +19,17 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 /// insertion rounds re-derive the same legs over and over — every
 /// recompute_finish walks its whole tour, every candidate probes its
 /// neighbors — so pairs are computed once and then served from a dense
-/// |S_I| x |S_I| table, filled lazily with exactly the values
-/// ChargingProblem::travel would return (results are bit-identical).
+/// |S_I| x |S_I| table. Rows are filled lazily at row granularity through
+/// the SIMD distance kernel over an SoA copy of the member coordinates
+/// (first touch of any pair fills the whole source row); depot legs are
+/// filled eagerly as one more row. dx*dx squares away the operand-order
+/// sign difference, so every value matches ChargingProblem::travel bit
+/// for bit — plans are unchanged.
 class TravelCache {
  public:
   TravelCache(const model::ChargingProblem& p,
               const std::vector<std::uint32_t>& sensors)
-      : p_(p), compact_(p.size(), -1) {
+      : speed_(p.speed()), compact_(p.size(), -1) {
     for (std::uint32_t s : sensors) {
       if (compact_[s] < 0) {
         compact_[s] = static_cast<std::int32_t>(ids_.size());
@@ -32,33 +37,46 @@ class TravelCache {
       }
     }
     const std::size_t m = ids_.size();
-    const double nan = std::numeric_limits<double>::quiet_NaN();
-    pair_.assign(m * m, nan);
-    depot_.assign(m, nan);
+    xs_.reserve(m);
+    ys_.reserve(m);
+    for (std::uint32_t s : ids_) {
+      const geom::Point pt = p.position(s);
+      xs_.push_back(pt.x);
+      ys_.push_back(pt.y);
+    }
+    pair_.assign(m * m, 0.0);
+    row_filled_.assign(m, 0);
+    depot_.resize(m);
+    simd::distance_row(xs_.data(), ys_.data(), m, p.depot().x, p.depot().y,
+                       depot_.data());
+    for (double& d : depot_) d /= speed_;
   }
 
   double travel(std::uint32_t u, std::uint32_t v) {
     const auto iu = static_cast<std::size_t>(compact_[u]);
-    const auto iv = static_cast<std::size_t>(compact_[v]);
-    double& slot = pair_[iu * ids_.size() + iv];
-    if (std::isnan(slot)) {
-      slot = p_.travel(u, v);
-      pair_[iv * ids_.size() + iu] = slot;  // symmetric
-    }
-    return slot;
+    if (!row_filled_[iu]) fill_row(iu);
+    return pair_[iu * ids_.size() + static_cast<std::size_t>(compact_[v])];
   }
 
   double travel_depot(std::uint32_t u) {
-    double& slot = depot_[static_cast<std::size_t>(compact_[u])];
-    if (std::isnan(slot)) slot = p_.travel_depot(u);
-    return slot;
+    return depot_[static_cast<std::size_t>(compact_[u])];
   }
 
  private:
-  const model::ChargingProblem& p_;
+  void fill_row(std::size_t iu) {
+    const std::size_t m = ids_.size();
+    double* row = pair_.data() + iu * m;
+    simd::distance_row(xs_.data(), ys_.data(), m, xs_[iu], ys_[iu], row);
+    for (std::size_t i = 0; i < m; ++i) row[i] /= speed_;
+    row_filled_[iu] = 1;
+  }
+
+  double speed_;
   std::vector<std::int32_t> compact_;  ///< sensor id -> cache index, -1 = out
   std::vector<std::uint32_t> ids_;     ///< cache index -> sensor id
-  std::vector<double> pair_;           ///< NaN = not yet computed
+  std::vector<double> xs_, ys_;        ///< SoA member coordinates
+  std::vector<double> pair_;           ///< row-major, valid iff row_filled_
+  std::vector<unsigned char> row_filled_;
   std::vector<double> depot_;
 };
 

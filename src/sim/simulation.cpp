@@ -3,11 +3,15 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <numeric>
+#include <optional>
 #include <vector>
 
 #include "schedule/execute.h"
 #include "schedule/verify.h"
 #include "util/assert.h"
+#include "util/parallel.h"
+#include "util/simd.h"
 
 namespace mcharge::sim {
 
@@ -15,13 +19,38 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/// Per-sensor dynamic state. Levels are tracked lazily: `level` is the
-/// battery level at time `as_of`; the linear draw makes any later level a
-/// closed-form expression.
-struct SensorState {
-  double level = 0.0;
-  double as_of = 0.0;
-  double dead_since = kInf;  ///< time the battery hit zero (inf if alive)
+/// Strictly-past-the-threshold nudge on predicted crossings, so that the
+/// batch collector (which tests `level < threshold`) sees the sensor even
+/// under floating-point rounding of the lazy level update.
+constexpr double kCrossingEps = 1e-6;
+
+/// Per-sensor dynamic state in SoA layout, so the two per-round scans
+/// (earliest crossing, advance + batch collection) run through the
+/// simd::crossing_min / simd::advance_select_below kernels. Levels are
+/// tracked lazily: level[v] is the battery level at time as_of[v]; the
+/// linear draw makes any later level a closed-form expression.
+/// dead_since[v] is the instant the battery hit zero (inf while alive).
+struct SensorSoa {
+  std::vector<double> level;
+  std::vector<double> as_of;
+  std::vector<double> dead_since;
+};
+
+/// Contiguous index shards for the per-sensor scans. The shard count is a
+/// pure function of (n, jobs, shard_grain) — never of thread timing — and
+/// the reductions below preserve global index order, so any shard count
+/// yields bit-identical results (see SimConfig::jobs).
+struct ShardPlan {
+  std::size_t n = 0;
+  std::size_t shards = 1;
+
+  ShardPlan(std::size_t n_, std::size_t jobs, std::size_t grain) : n(n_) {
+    const std::size_t j = jobs == 0 ? default_jobs() : jobs;
+    const std::size_t g = std::max<std::size_t>(1, grain);
+    shards = j <= 1 ? 1 : std::min(j, std::max<std::size_t>(1, n / g));
+  }
+  std::size_t begin(std::size_t s) const { return s * n / shards; }
+  std::size_t end(std::size_t s) const { return (s + 1) * n / shards; }
 };
 
 }  // namespace
@@ -30,6 +59,21 @@ double SimResult::max_dead_minutes_per_sensor() const {
   double worst = 0.0;
   for (double s : dead_seconds_per_sensor) worst = std::max(worst, s);
   return worst / 60.0;
+}
+
+double snap_dispatch_to_epoch(double dispatch, double epoch,
+                              double fleet_ready) {
+  MCHARGE_ASSERT(epoch > 0.0, "epoch snap needs a positive epoch");
+  double snapped = std::ceil(dispatch / epoch - 1e-12) * epoch;
+  if (snapped < fleet_ready) {
+    // The fudge rounded down past the fleet's return; take the first
+    // boundary at or after fleet_ready instead (no fudge: here rounding
+    // up a whole epoch is correct, dispatching early is not).
+    snapped = std::ceil(fleet_ready / epoch) * epoch;
+    if (snapped < fleet_ready) snapped = fleet_ready;
+  }
+  MCHARGE_ASSERT(snapped >= fleet_ready, "epoch dispatch before fleet return");
+  return snapped;
 }
 
 SimResult simulate(const model::WrsnInstance& instance,
@@ -72,41 +116,37 @@ SimResult simulate(const model::WrsnInstance& instance,
     }
   };
 
-  std::vector<SensorState> state(n);
-  for (std::size_t v = 0; v < n; ++v) {
-    state[v].level = config.initial_level_fraction * capacity;
-    state[v].as_of = 0.0;
-  }
+  const double* draw = instance.consumption_w.data();
+  SensorSoa state;
+  state.level.assign(n, config.initial_level_fraction * capacity);
+  state.as_of.assign(n, 0.0);
+  state.dead_since.assign(n, kInf);
+  std::vector<std::uint32_t> ids(n);
+  std::iota(ids.begin(), ids.end(), 0u);
 
-  // Advances sensor v's lazy state to time t (t >= as_of), accruing dead
-  // time into result when the battery empties.
-  auto advance = [&](std::size_t v, double t) {
-    SensorState& s = state[v];
-    if (t <= s.as_of) return;
-    const double draw = instance.consumption_w[v];
-    const double drained = draw * (t - s.as_of);
-    if (drained >= s.level && draw > 0.0) {
-      if (s.dead_since == kInf) {
-        s.dead_since = s.as_of + s.level / draw;
+  const ShardPlan plan_shards(n, config.jobs, config.shard_grain);
+  const std::size_t shards = plan_shards.shards;
+  std::optional<ThreadPool> pool;
+  if (shards > 1) pool.emplace(shards);
+  std::vector<double> shard_min(shards, kInf);
+  std::vector<std::size_t> shard_count(shards, 0);
+  std::vector<std::uint32_t> select_scratch(n);
+
+  // Advances sensor v's lazy state to time t; the scalar twin of the
+  // simd::advance_select_below per-element update, for the sparse
+  // per-completion advances where a vector scan has nothing to batch.
+  auto advance_one = [&](std::size_t v, double t) {
+    if (t <= state.as_of[v]) return;
+    const double drained = draw[v] * (t - state.as_of[v]);
+    if (drained >= state.level[v] && draw[v] > 0.0) {
+      if (state.dead_since[v] == kInf) {
+        state.dead_since[v] = state.as_of[v] + state.level[v] / draw[v];
       }
-      s.level = 0.0;
+      state.level[v] = 0.0;
     } else {
-      s.level -= drained;
+      state.level[v] -= drained;
     }
-    s.as_of = t;
-  };
-
-  // Earliest time sensor v (currently not awaiting charge) crosses the
-  // request threshold; now if already below. The tiny epsilon pushes the
-  // crossing strictly past the threshold so that the batch collector (which
-  // tests `level < threshold`) sees the sensor even under floating-point
-  // rounding of the lazy level update.
-  auto crossing_time = [&](std::size_t v) {
-    const SensorState& s = state[v];
-    if (s.level < threshold_j) return s.as_of;
-    const double draw = instance.consumption_w[v];
-    if (draw <= 0.0) return kInf;
-    return s.as_of + (s.level - threshold_j) / draw + 1e-6;
+    state.as_of[v] = t;
   };
 
   double fleet_ready = 0.0;
@@ -115,38 +155,84 @@ SimResult simulate(const model::WrsnInstance& instance,
   std::vector<double> pending_since(n, kInf);
 
   while (result.rounds < config.max_rounds) {
-    // Next request among all sensors.
+    // Next request among all sensors: per-sensor threshold crossings (now
+    // for already-below sensors), min-reduced in shard index order.
     double first_request = kInf;
-    for (std::size_t v = 0; v < n; ++v) {
-      first_request = std::min(first_request, crossing_time(v));
+    if (shards == 1) {
+      first_request =
+          simd::crossing_min(state.level.data(), state.as_of.data(), draw, n,
+                             threshold_j, kCrossingEps);
+    } else {
+      for (std::size_t s = 0; s < shards; ++s) {
+        pool->submit([&, s] {
+          const std::size_t b = plan_shards.begin(s);
+          shard_min[s] = simd::crossing_min(
+              state.level.data() + b, state.as_of.data() + b, draw + b,
+              plan_shards.end(s) - b, threshold_j, kCrossingEps);
+        });
+      }
+      pool->wait_idle();
+      for (std::size_t s = 0; s < shards; ++s) {
+        if (shard_min[s] < first_request) first_request = shard_min[s];
+      }
     }
     if (first_request >= horizon) break;
 
     double dispatch = std::max(first_request, fleet_ready);
     if (config.dispatch_epoch_s > 0.0) {
       // Epoch policy: the fleet only leaves on epoch boundaries.
-      const double epoch = config.dispatch_epoch_s;
-      dispatch = std::ceil(dispatch / epoch - 1e-12) * epoch;
+      dispatch =
+          snap_dispatch_to_epoch(dispatch, config.dispatch_epoch_s,
+                                 fleet_ready);
     }
     if (dispatch >= horizon) break;
+    MCHARGE_ASSERT(dispatch >= fleet_ready,
+                   "dispatch while the fleet is still out");
 
-    // Freeze V_s: everything below threshold at dispatch time.
+    // Freeze V_s: advance everyone to dispatch time and collect everything
+    // below threshold. Per-shard fragments land at the shard's own offset
+    // in the scratch buffer (a shard selects at most its own length), then
+    // concatenate in shard index order == global index order.
     std::vector<std::uint32_t> batch;
-    for (std::size_t v = 0; v < n; ++v) {
-      advance(v, dispatch);
-      if (state[v].level < threshold_j) {
-        batch.push_back(static_cast<std::uint32_t>(v));
-        if (pending_since[v] == kInf) {
-          // Reconstruct the actual crossing instant from the linear draw.
-          const double draw = instance.consumption_w[v];
-          pending_since[v] =
-              draw > 0.0
-                  ? dispatch - (threshold_j - state[v].level) / draw
-                  : dispatch;
-        }
+    if (shards == 1) {
+      const std::size_t got = simd::advance_select_below(
+          state.level.data(), state.as_of.data(), state.dead_since.data(),
+          draw, n, dispatch, threshold_j, ids.data(), select_scratch.data());
+      batch.assign(select_scratch.begin(),
+                   select_scratch.begin() + static_cast<std::ptrdiff_t>(got));
+    } else {
+      for (std::size_t s = 0; s < shards; ++s) {
+        pool->submit([&, s, dispatch] {
+          const std::size_t b = plan_shards.begin(s);
+          shard_count[s] = simd::advance_select_below(
+              state.level.data() + b, state.as_of.data() + b,
+              state.dead_since.data() + b, draw + b, plan_shards.end(s) - b,
+              dispatch, threshold_j, ids.data() + b,
+              select_scratch.data() + b);
+        });
+      }
+      pool->wait_idle();
+      for (std::size_t s = 0; s < shards; ++s) {
+        const std::size_t b = plan_shards.begin(s);
+        batch.insert(batch.end(), select_scratch.begin() + b,
+                     select_scratch.begin() + b + shard_count[s]);
       }
     }
     MCHARGE_ASSERT(!batch.empty(), "dispatch with an empty request set");
+
+    for (std::uint32_t v : batch) {
+      if (pending_since[v] == kInf) {
+        // Reconstruct the actual crossing instant from the linear draw.
+        // A sensor that *started* below the threshold never crossed it —
+        // the reconstruction would land before t = 0 — so the request is
+        // pending from the start of the period, never earlier.
+        pending_since[v] =
+            draw[v] > 0.0
+                ? std::max(0.0, dispatch -
+                                    (threshold_j - state.level[v]) / draw[v])
+                : dispatch;
+      }
+    }
 
     std::vector<geom::Point> positions;
     std::vector<double> charge_seconds;
@@ -157,9 +243,8 @@ SimResult simulate(const model::WrsnInstance& instance,
     for (std::uint32_t v : batch) {
       positions.push_back(instance.positions[v]);
       charge_seconds.push_back(
-          net.charge_seconds(std::max(0.0, target_j - state[v].level)));
-      const double draw = instance.consumption_w[v];
-      lifetimes.push_back(draw > 0.0 ? state[v].level / draw : kInf);
+          net.charge_seconds(std::max(0.0, target_j - state.level[v])));
+      lifetimes.push_back(draw[v] > 0.0 ? state.level[v] / draw[v] : kInf);
     }
     model::ChargingProblem problem(
         std::move(positions), std::move(charge_seconds), net.depot,
@@ -191,15 +276,14 @@ SimResult simulate(const model::WrsnInstance& instance,
       const std::uint32_t v = batch[i];
       const double done = dispatch + schedule.charged_at[i];
       // Dead-time accounting up to the charge completion (or horizon).
-      advance(v, std::min(done, horizon));
-      SensorState& s = state[v];
-      if (s.dead_since != kInf) {
-        credit_dead(v, s.dead_since, std::min(done, horizon));
-        s.dead_since = kInf;
+      advance_one(v, std::min(done, horizon));
+      if (state.dead_since[v] != kInf) {
+        credit_dead(v, state.dead_since[v], std::min(done, horizon));
+        state.dead_since[v] = kInf;
       }
       if (done < horizon) {
-        s.level = target_j;
-        s.as_of = done;
+        state.level[v] = target_j;
+        state.as_of[v] = done;
         ++charged_count;
         ++result.charges_per_sensor[v];
         if (pending_since[v] != kInf) {
@@ -209,8 +293,8 @@ SimResult simulate(const model::WrsnInstance& instance,
       } else {
         // Charge completes after the monitoring period; the event is
         // censored and contributes no latency sample.
-        s.level = target_j;
-        s.as_of = horizon;
+        state.level[v] = target_j;
+        state.as_of[v] = horizon;
         pending_since[v] = kInf;
       }
     }
@@ -231,10 +315,10 @@ SimResult simulate(const model::WrsnInstance& instance,
 
   // Close out dead time for sensors still dead at the horizon.
   for (std::size_t v = 0; v < n; ++v) {
-    advance(v, horizon);
-    if (state[v].dead_since != kInf) {
-      credit_dead(v, state[v].dead_since, horizon);
-      state[v].dead_since = kInf;
+    advance_one(v, horizon);
+    if (state.dead_since[v] != kInf) {
+      credit_dead(v, state.dead_since[v], horizon);
+      state.dead_since[v] = kInf;
     }
   }
 

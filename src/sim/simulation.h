@@ -50,6 +50,19 @@ struct SimConfig {
   /// every sojourn but make sensors request again sooner — the classic
   /// full-vs-partial tradeoff of the charging literature.
   double charge_target_fraction = 1.0;
+  /// Worker threads for the per-sensor drain scans (0 = default_jobs(),
+  /// 1 = the serial reference path). Every value produces bit-identical
+  /// SimResults: the scans split into contiguous index shards, per-shard
+  /// minima reduce in shard order on the calling thread, and per-shard
+  /// batch fragments concatenate in shard order, so the global index
+  /// order — and every IEEE-754 operation — matches the serial scan
+  /// exactly (the util/parallel.h determinism rules).
+  std::size_t jobs = 1;
+  /// Minimum sensors per shard before the scans actually split; below
+  /// jobs * shard_grain sensors the round loop stays on the serial path,
+  /// where pool handoff would cost more than the scan. Tests lower this
+  /// to force multi-shard execution at moderate n.
+  std::size_t shard_grain = 1024;
 };
 
 /// One charging round as seen by the base station.
@@ -74,7 +87,13 @@ struct SimResult {
   RunningStats request_latency_s;
   double total_conflict_wait_s = 0.0;   ///< waiting injected by the executor
   std::size_t verify_violations = 0;    ///< should stay 0
-  double busy_fraction = 0.0;           ///< fleet busy time / T_M
+  /// Fraction of the monitoring period the fleet spends away from the
+  /// depot. A round dispatched at time d with longest delay D contributes
+  /// min(d + D, T_M) - d: a round still out when the period ends is
+  /// censored and counts only its in-horizon prefix. Degenerate rounds
+  /// that charge nothing contribute zero — the empty-round backoff is
+  /// idle time at the depot, not busy time.
+  double busy_fraction = 0.0;
   std::vector<double> dead_seconds_per_sensor;   ///< indexed by sensor
   std::vector<std::size_t> charges_per_sensor;   ///< charge events per sensor
   /// Network-wide dead time bucketed into 30-day windows of the horizon.
@@ -89,6 +108,17 @@ struct SimResult {
   /// Largest per-sensor dead time, in minutes (0 for an empty network).
   double max_dead_minutes_per_sensor() const;
 };
+
+/// Snaps a dispatch instant up to the next boundary of `epoch` (> 0),
+/// never before `fleet_ready`. The 1e-12 relative fudge keeps a dispatch
+/// already sitting on a boundary from being pushed a whole epoch by
+/// floating-point noise — but that same fudge can round *down* past
+/// fleet_ready when the fleet returns a hair after a boundary, which
+/// would dispatch the fleet before it is home; this helper re-snaps from
+/// fleet_ready (and clamps) so the result is always >= fleet_ready.
+/// Exposed for direct adversarial testing (sim_test.cpp).
+double snap_dispatch_to_epoch(double dispatch, double epoch,
+                              double fleet_ready);
 
 /// Runs one full monitoring period of `instance` under `scheduler`.
 SimResult simulate(const model::WrsnInstance& instance,

@@ -47,6 +47,15 @@ struct KernelTable {
   std::size_t (*select_within)(const double* xs, const double* ys,
                                std::size_t n, double cx, double cy, double r2,
                                const std::uint32_t* ids, std::uint32_t* out);
+  double (*crossing_min)(const double* level, const double* as_of,
+                         const double* draw, std::size_t n, double threshold,
+                         double eps);
+  std::size_t (*advance_select_below)(double* level, double* as_of,
+                                      double* dead_since, const double* draw,
+                                      std::size_t n, double t,
+                                      double threshold,
+                                      const std::uint32_t* ids,
+                                      std::uint32_t* out);
 };
 
 extern const KernelTable kScalarKernels;

@@ -103,6 +103,7 @@ TEST(ShardedSweep, ShardUnionMatchesUnshardedBitwise) {
 
 TEST(ShardedSweep, ChunkFileRoundTripsBitsExactly) {
   bench::ChunkFile chunk;
+  chunk.kind = "ablation_policy";
   chunk.figure = "Fig. 3";
   chunk.knob = "n";
   chunk.seed = 123456789012345ull;
@@ -110,16 +111,20 @@ TEST(ShardedSweep, ChunkFileRoundTripsBitsExactly) {
   chunk.months = 1.0 / 3.0;  // not representable in short decimal
   chunk.shard_index = 2;
   chunk.shard_count = 5;
+  chunk.params = {{"n", "1000"}, {"chargers", "2"}};
   chunk.algo_names = {"Appro", "K-EDF"};
   chunk.labels = {"200", "400"};
-  chunk.items.push_back({0, 1, 0, 0.1 + 0.2, 4.9e-324, 3});
-  chunk.items.push_back({1, 3, 1, 123.456789012345678, 0.0, 0});
+  // Values vectors of differing length, incl. a denormal and an empty one.
+  chunk.items.push_back({0, 1, 0, 3, {0.1 + 0.2, 4.9e-324}});
+  chunk.items.push_back({1, 3, 1, 0, {123.456789012345678, 0.0, -1.5}});
+  chunk.items.push_back({0, 0, 1, 0, {}});
 
   const std::string path = ::testing::TempDir() + "/mcharge_chunk_test.txt";
   ASSERT_TRUE(bench::write_chunk(path, chunk));
   bench::ChunkFile back;
   std::string error;
   ASSERT_TRUE(bench::read_chunk(path, &back, &error)) << error;
+  EXPECT_EQ(back.kind, chunk.kind);
   EXPECT_EQ(back.figure, chunk.figure);
   EXPECT_EQ(back.knob, chunk.knob);
   EXPECT_EQ(back.seed, chunk.seed);
@@ -127,6 +132,9 @@ TEST(ShardedSweep, ChunkFileRoundTripsBitsExactly) {
   EXPECT_EQ(back.months, chunk.months);  // bitwise via %a round-trip
   EXPECT_EQ(back.shard_index, chunk.shard_index);
   EXPECT_EQ(back.shard_count, chunk.shard_count);
+  EXPECT_EQ(back.params, chunk.params);
+  EXPECT_EQ(back.param("chargers"), "2");
+  EXPECT_EQ(back.param("absent"), "");
   EXPECT_EQ(back.algo_names, chunk.algo_names);
   EXPECT_EQ(back.labels, chunk.labels);
   ASSERT_EQ(back.items.size(), chunk.items.size());
@@ -134,9 +142,11 @@ TEST(ShardedSweep, ChunkFileRoundTripsBitsExactly) {
     EXPECT_EQ(back.items[i].point, chunk.items[i].point);
     EXPECT_EQ(back.items[i].inst, chunk.items[i].inst);
     EXPECT_EQ(back.items[i].algo, chunk.items[i].algo);
-    EXPECT_EQ(back.items[i].tour, chunk.items[i].tour);
-    EXPECT_EQ(back.items[i].dead, chunk.items[i].dead);
     EXPECT_EQ(back.items[i].violations, chunk.items[i].violations);
+    ASSERT_EQ(back.items[i].values.size(), chunk.items[i].values.size());
+    for (std::size_t v = 0; v < chunk.items[i].values.size(); ++v) {
+      EXPECT_EQ(back.items[i].values[v], chunk.items[i].values[v]);
+    }
   }
   std::remove(path.c_str());
 }

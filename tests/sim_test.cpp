@@ -254,6 +254,102 @@ TEST(Simulate, LatencyWorsensWhenFleetShrinks) {
   EXPECT_GT(slow.request_latency_s.mean(), fast.request_latency_s.mean());
 }
 
+TEST(SnapDispatchToEpoch, BoundaryAndMidEpochCases) {
+  // Exactly on a boundary: stays put.
+  EXPECT_DOUBLE_EQ(86400.0, snap_dispatch_to_epoch(86400.0, 86400.0, 0.0));
+  // A hair above a boundary from lazy-update FP noise, fleet home long
+  // before: the 1e-12 fudge keeps the dispatch from slipping a whole
+  // epoch.
+  EXPECT_DOUBLE_EQ(86400.0,
+                   snap_dispatch_to_epoch(86400.0 + 1e-9, 86400.0, 0.0));
+  // Mid-epoch: the next boundary.
+  EXPECT_DOUBLE_EQ(172800.0,
+                   snap_dispatch_to_epoch(100000.0, 86400.0, 90000.0));
+}
+
+TEST(SnapDispatchToEpoch, NeverDispatchesBeforeFleetReturn) {
+  // Regression: the fleet returns a hair *after* an epoch boundary —
+  // closer than the 1e-12 relative fudge — so the fudged ceil rounds the
+  // dispatch DOWN onto that boundary, i.e. before the fleet is home.
+  const double epoch = 86400.0;
+  const double fleet_ready = 86400.0 + 1e-8;
+  const double snapped = snap_dispatch_to_epoch(fleet_ready, epoch,
+                                                fleet_ready);
+  EXPECT_GE(snapped, fleet_ready);
+  EXPECT_DOUBLE_EQ(2.0 * epoch, snapped);
+}
+
+TEST(Simulate, InitialLevelBelowThresholdClampsRequestTime) {
+  // Regression: sensors that START below the request threshold never
+  // crossed it, so reconstructing the crossing from the linear draw lands
+  // before t = 0. With a slow draw the un-clamped reconstruction is
+  // minus (threshold - level) / draw ~ -1.08e6 s, inflating every
+  // first-round latency sample past the 2-day horizon.
+  auto instance = tiny_instance(30, 19);
+  for (auto& w : instance.consumption_w) w = 1e-3;
+  core::ApproScheduler appro;
+  SimConfig config;
+  config.initial_level_fraction = 0.1;  // below the 20% threshold
+  config.monitoring_period_s = 2.0 * 86400.0;
+  const auto result = simulate(instance, appro, config);
+  ASSERT_GT(result.sensors_charged, 0u);
+  EXPECT_GT(result.request_latency_s.min(), 0.0);
+  EXPECT_LE(result.request_latency_s.max(), config.monitoring_period_s);
+}
+
+TEST(Simulate, BusyFractionMatchesRoundsLogWithCensoredRound) {
+  // busy_fraction semantics: sum over rounds of min(d + D, T_M) - d.
+  // Saturate a one-MCV fleet so rounds run back to back and the final
+  // round is still out at the horizon (the censored case).
+  auto instance = tiny_instance(80, 20);
+  for (auto& w : instance.consumption_w) w *= 6.0;
+  instance.config.num_chargers = 1;
+  core::ApproScheduler appro;
+  SimConfig config;
+  config.record_rounds = true;
+  config.monitoring_period_s = 40.0 * 86400.0;
+  const auto result = simulate(instance, appro, config);
+  ASSERT_GT(result.rounds, 0u);
+  const auto& last = result.rounds_log.back();
+  ASSERT_GT(last.dispatch_time + last.longest_delay_s,
+            config.monitoring_period_s)
+      << "fleet not saturated; the censored-round case is untested";
+  double busy = 0.0;
+  for (const auto& round : result.rounds_log) {
+    if (round.longest_delay_s > 0.0) {
+      busy += std::min(round.dispatch_time + round.longest_delay_s,
+                       config.monitoring_period_s) -
+              round.dispatch_time;
+    }
+  }
+  EXPECT_DOUBLE_EQ(busy / config.monitoring_period_s, result.busy_fraction);
+  EXPECT_LE(result.busy_fraction, 1.0);
+}
+
+namespace {
+/// Scheduler that plans nothing: every round is degenerate, exercising
+/// the empty-round backoff path.
+class NoOpScheduler : public sched::Scheduler {
+ public:
+  std::string name() const override { return "NoOp"; }
+  sched::ChargingPlan plan(const model::ChargingProblem&) const override {
+    return {};
+  }
+};
+}  // namespace
+
+TEST(Simulate, EmptyRoundBackoffIsIdleNotBusy) {
+  auto instance = tiny_instance(20, 21);
+  NoOpScheduler noop;
+  SimConfig config;
+  config.max_rounds = 5;  // the no-op scheduler would spin forever
+  const auto result = simulate(instance, noop, config);
+  EXPECT_EQ(result.rounds, 5u);
+  EXPECT_EQ(result.sensors_charged, 0u);
+  // Degenerate rounds contribute no busy time.
+  EXPECT_DOUBLE_EQ(result.busy_fraction, 0.0);
+}
+
 TEST(Simulate, RespectsMaxRounds) {
   auto instance = tiny_instance(30, 8);
   core::ApproScheduler appro;

@@ -360,6 +360,111 @@ TEST(Simd, SelectWithinMatchesScalarFilter) {
   }
 }
 
+/// Random lazy-drain population exercising every kernel branch: healthy
+/// sensors, zero-draw sensors, already-below-threshold sensors, and dead
+/// (level 0, finite dead_since) sensors, with staggered as_of times.
+struct DrainSoa {
+  std::vector<double> level, as_of, dead_since, draw;
+};
+
+DrainSoa random_drain(std::size_t n, std::uint64_t seed, double threshold) {
+  Rng rng(seed);
+  DrainSoa s;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double roll = rng.uniform(0.0, 1.0);
+    double level = rng.uniform(threshold * 1.01, 10800.0);
+    double draw = rng.uniform(0.01, 0.2);
+    double dead_since = kInf;
+    if (roll < 0.15) {
+      level = rng.uniform(0.0, threshold * 0.99);  // already below
+    } else if (roll < 0.25) {
+      draw = roll < 0.2 ? 0.0 : -0.05;  // no (or negative) draw
+    } else if (roll < 0.35) {
+      level = 0.0;  // long dead
+      dead_since = rng.uniform(0.0, 5000.0);
+    }
+    s.level.push_back(level);
+    s.as_of.push_back(rng.uniform(0.0, 20000.0));
+    s.dead_since.push_back(dead_since);
+    s.draw.push_back(draw);
+  }
+  return s;
+}
+
+TEST(Simd, CrossingMinMatchesScalarOnAllBackends) {
+  const double threshold = 2160.0;
+  const double eps = 1e-6;
+  for (std::size_t n : kLengths) {
+    const DrainSoa s = random_drain(n, 1200 + n, threshold);
+    double want = kInf;
+    for (std::size_t i = 0; i < n; ++i) {
+      double c;
+      if (s.level[i] < threshold) {
+        c = s.as_of[i];
+      } else if (s.draw[i] <= 0.0) {
+        c = kInf;
+      } else {
+        c = s.as_of[i] + (s.level[i] - threshold) / s.draw[i] + eps;
+      }
+      if (c < want) want = c;
+    }
+    for (simd::Backend b : supported_backends()) {
+      BackendGuard guard(b);
+      EXPECT_EQ(want, simd::crossing_min(s.level.data(), s.as_of.data(),
+                                         s.draw.data(), n, threshold, eps))
+          << "n=" << n << " backend=" << static_cast<int>(b);
+    }
+  }
+}
+
+TEST(Simd, AdvanceSelectBelowMatchesScalarOnAllBackends) {
+  const double threshold = 2160.0;
+  for (std::size_t n : kLengths) {
+    for (double t : {0.0, 10000.0, 60000.0, 4.0e6}) {
+      const DrainSoa base = random_drain(n, 1300 + n, threshold);
+      std::vector<std::uint32_t> ids(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        ids[i] = static_cast<std::uint32_t>(3 * i + 1);
+      }
+      // Scalar reference on a copy, matching the documented semantics.
+      DrainSoa want = base;
+      std::vector<std::uint32_t> want_out;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (t > want.as_of[i]) {
+          const double drained = want.draw[i] * (t - want.as_of[i]);
+          if (drained >= want.level[i] && want.draw[i] > 0.0) {
+            if (want.dead_since[i] == kInf) {
+              want.dead_since[i] =
+                  want.as_of[i] + want.level[i] / want.draw[i];
+            }
+            want.level[i] = 0.0;
+          } else {
+            want.level[i] -= drained;
+          }
+          want.as_of[i] = t;
+        }
+        if (want.level[i] < threshold) want_out.push_back(ids[i]);
+      }
+      for (simd::Backend b : supported_backends()) {
+        BackendGuard guard(b);
+        DrainSoa got = base;
+        std::vector<std::uint32_t> out(n + 1, 0xdeadbeef);
+        const std::size_t kept = simd::advance_select_below(
+            got.level.data(), got.as_of.data(), got.dead_since.data(),
+            got.draw.data(), n, t, threshold, ids.data(), out.data());
+        ASSERT_EQ(want_out.size(), kept)
+            << "n=" << n << " t=" << t << " backend=" << static_cast<int>(b);
+        for (std::size_t i = 0; i < kept; ++i) EXPECT_EQ(want_out[i], out[i]);
+        for (std::size_t i = 0; i < n; ++i) {
+          EXPECT_EQ(want.level[i], got.level[i]) << "i=" << i;
+          EXPECT_EQ(want.as_of[i], got.as_of[i]) << "i=" << i;
+          EXPECT_EQ(want.dead_since[i], got.dead_since[i]) << "i=" << i;
+        }
+      }
+    }
+  }
+}
+
 TEST(Simd, ApproPlanIsByteIdenticalAcrossBackends) {
   // End-to-end regression of the bitwise-identity contract: the full Appro
   // pipeline (grid queries, MIS, blossom, Christofides, 2-opt/Or-opt,
