@@ -7,10 +7,12 @@
 // Measures the executed longest charge delay on fresh charging rounds
 // (not the simulator loop, which would mix in request-dynamics noise).
 //
-// Flags: --n=1000 --chargers=2 --rounds=10 --seed=1 --jobs=0
+// Flags: --n=1000 --chargers=2 --rounds=10 --seed=1 --jobs=0 --plan-jobs=0
 //        [--shard=i/N --chunk=PATH]
 // (--jobs: worker threads; 0 = all hardware threads. Output is identical
 // for every job count — each (variant, round) work item reseeds itself.
+// --plan-jobs: worker threads inside each scheduler invocation, also
+// output-identical for every value; 0 = the scheduler's own configuration.
 // --shard/--chunk: compute only this shard's items and write a chunk file
 // for merge_shards; the merged table is byte-identical to unsharded.)
 #include <cstdio>
@@ -60,6 +62,8 @@ int main(int argc, char** argv) {
   const auto rounds = static_cast<std::size_t>(flags.get_int("rounds", 10));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   const auto jobs = static_cast<std::size_t>(flags.get_int("jobs", 0));
+  const auto plan_jobs =
+      static_cast<std::size_t>(flags.get_int("plan-jobs", 0));
   const auto shard = bench::ShardSpec::from_flags(flags);
 
   std::vector<Variant> variants;
@@ -125,8 +129,8 @@ int main(int argc, char** argv) {
         const std::size_t r = idx % rounds;
         Rng rng(derive_seed(seed, r));  // same round problem for all variants
         const auto problem = random_round(n, k, rng);
-        const auto schedule =
-            sched::execute_plan(problem, algos[a].second->plan(problem));
+        const auto schedule = sched::execute_plan(
+            problem, algos[a].second->plan_with_jobs(problem, plan_jobs));
         bench::DesignItem& item = results[idx];
         item.violations = sched::verify_schedule(problem, schedule).size();
         item.delay_h = schedule.longest_delay() / 3600.0;

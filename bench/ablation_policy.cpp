@@ -8,10 +8,12 @@
 // up, tour efficiency up).
 //
 // Flags: --n=1000 --chargers=2 --instances=5 --months=12 --seed=1 --jobs=0
-//        [--shard=i/N --chunk=PATH]
+//        --plan-jobs=0 [--shard=i/N --chunk=PATH]
 // (--jobs: worker threads; 0 = all hardware threads. Output is identical
 // for every job count — each (algorithm, policy, instance) work item
-// reseeds itself from the instance index alone. --shard/--chunk: compute
+// reseeds itself from the instance index alone. --plan-jobs: worker
+// threads inside each scheduler invocation, also output-identical for
+// every value; 0 = the scheduler's own configuration. --shard/--chunk: compute
 // only this shard's items and write a chunk file for merge_shards; the
 // merged table is byte-identical to unsharded.)
 #include <cstdio>
@@ -41,6 +43,8 @@ int main(int argc, char** argv) {
   const double months = flags.get_double("months", 12.0);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   const auto jobs = static_cast<std::size_t>(flags.get_int("jobs", 0));
+  const auto plan_jobs =
+      static_cast<std::size_t>(flags.get_int("plan-jobs", 0));
   const auto shard = bench::ShardSpec::from_flags(flags);
 
   struct Policy {
@@ -81,6 +85,7 @@ int main(int argc, char** argv) {
         sim_config.monitoring_period_s = months * 30.0 * 86400.0;
         sim_config.dispatch_epoch_s = policies[p].epoch_s;
         sim_config.record_rounds = true;
+        sim_config.plan_jobs = plan_jobs;
         const auto r = sim::simulate(instance, *algorithms[a], sim_config);
         bench::PolicyItem& item = items[idx];
         item.rounds = static_cast<double>(r.rounds);

@@ -17,6 +17,11 @@
 //                   scans (default 1 = serial; 0 = all hardware threads).
 //                   Byte-identical for every N; useful when a single huge
 //                   instance dominates instead of many parallel items.
+//   --plan-jobs=N   worker threads inside each scheduler invocation
+//                   (per-segment tour improvement + eager travel-cache
+//                   fill; default 0 = the scheduler's own configuration).
+//                   Byte-identical for every N, same caveat as --sim-jobs:
+//                   only pays when one huge instance dominates.
 //   --csv=PREFIX    also write PREFIX_a.csv / PREFIX_b.csv
 //   --shard=i/N     run only work items with global index = i mod N and
 //                   write a chunk file instead of tables (requires --chunk).
@@ -72,6 +77,11 @@ struct SweepSettings {
   /// would only add contention. Raise it for single-instance runs at
   /// large n. Never affects the numbers, only speed.
   std::size_t sim_jobs = 1;
+  /// Worker threads inside each scheduler invocation (SimConfig::plan_jobs:
+  /// per-segment tour improvement and the eager travel-cache fill).
+  /// Defaults to 0 = the scheduler's own configuration, for the same
+  /// reason as sim_jobs. Never affects the numbers, only speed.
+  std::size_t plan_jobs = 0;
   std::string csv_prefix;  ///< empty = no CSV files
   /// Sensor placement. The paper uses uniform; --layout=clustered/grid
   /// checks that the conclusions survive other deployment shapes.
@@ -90,6 +100,7 @@ struct SweepSettings {
     s.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
     s.jobs = static_cast<std::size_t>(flags.get_int("jobs", 0));
     s.sim_jobs = static_cast<std::size_t>(flags.get_int("sim-jobs", 1));
+    s.plan_jobs = static_cast<std::size_t>(flags.get_int("plan-jobs", 0));
     s.csv_prefix = flags.get("csv", "");
     const std::string layout = flags.get("layout", "uniform");
     if (layout == "clustered") s.layout = model::FieldLayout::kClustered;
@@ -150,6 +161,7 @@ std::vector<ItemSample> run_point_samples(
   sim::SimConfig sim_config;
   sim_config.monitoring_period_s = settings.months * 30.0 * 86400.0;
   sim_config.jobs = settings.sim_jobs;
+  sim_config.plan_jobs = settings.plan_jobs;
 
   const std::size_t num_algos = algorithms.size();
   const std::size_t stride = settings.instances * num_algos;

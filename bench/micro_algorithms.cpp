@@ -250,6 +250,28 @@ void BM_MinMaxKTours(benchmark::State& state) {
 }
 BENCHMARK(BM_MinMaxKTours)->Arg(1)->Arg(2)->Arg(5);
 
+void BM_SplitImprove(benchmark::State& state) {
+  // min_max_k_tours with the per-segment improvement fanned out over
+  // `jobs` workers (MinMaxTourOptions::jobs). The k segments improve
+  // independently into their own slots, so the result is byte-identical
+  // at every job count; on a multi-core machine jobs > 1 shows the
+  // wall-clock headroom of the per-charger decomposition (this is the
+  // planner's dominant parallel section).
+  const auto p = make_tour_problem(600, 8);
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto jobs = static_cast<std::size_t>(state.range(1));
+  tsp::MinMaxTourOptions options;
+  options.jobs = jobs;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tsp::min_max_k_tours(p, k, options));
+  }
+}
+BENCHMARK(BM_SplitImprove)
+    ->Args({4, 1})
+    ->Args({4, 2})
+    ->Args({4, 4})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_ApproPlan(benchmark::State& state) {
   const auto problem =
       make_round(static_cast<std::size_t>(state.range(0)), 2, 9);
@@ -259,6 +281,49 @@ void BM_ApproPlan(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ApproPlan)->Arg(200)->Arg(600)->Arg(1200)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ApproPlanJobs(benchmark::State& state) {
+  // Same plan as BM_ApproPlan/1200 (byte-identical by the determinism
+  // contract) with the planner's parallel sections on `jobs` workers.
+  // Kept separate from BM_ApproPlan so its single-argument series stays
+  // comparable across BENCH_micro.json snapshots.
+  const auto problem =
+      make_round(static_cast<std::size_t>(state.range(0)), 2, 9);
+  core::ApproScheduler appro;
+  const auto jobs = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(appro.plan_with_jobs(problem, jobs));
+  }
+}
+BENCHMARK(BM_ApproPlanJobs)
+    ->Args({1200, 2})
+    ->Args({1200, 8})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ApproInsertion(benchmark::State& state) {
+  // The step-6 insertion phase in isolation: range(1) == 0 runs the
+  // incremental path (cached f_N, dirty-set invalidation, suffix-only
+  // finish recompute, tombstoned pending), range(1) == 1 the legacy
+  // reference (full rescans + whole-tour recompute + mid-vector erase).
+  // Both produce byte-identical plans (tests/appro_incremental_test.cpp);
+  // the delta is the tentpole's insertion-phase win. Steps 1-5 are
+  // included in both runs, so read the difference, not the ratio.
+  const auto problem =
+      make_round(static_cast<std::size_t>(state.range(0)), 2, 9);
+  core::ApproOptions options;
+  options.legacy_insertion = state.range(1) != 0;
+  core::ApproScheduler appro(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(appro.plan(problem));
+  }
+  state.SetLabel(options.legacy_insertion ? "legacy" : "incremental");
+}
+BENCHMARK(BM_ApproInsertion)
+    ->Args({600, 0})
+    ->Args({600, 1})
+    ->Args({1200, 0})
+    ->Args({1200, 1})
     ->Unit(benchmark::kMillisecond);
 
 void BM_ApproPlanAndExecute(benchmark::State& state) {

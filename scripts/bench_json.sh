@@ -24,9 +24,9 @@ FILTER=""
 for arg in "$@"; do
   case "$arg" in
     --quick)
-      # The distance-cache, simd-kernel, parallel-sweep and simulator-loop
-      # trajectory benches.
-      FILTER="--benchmark_filter=BM_(TwoOpt|TwoOptCached|OrOpt|OrOptCached|DistanceCacheBuild|SimdDistanceMatrix|SimdArgminScan|ParallelSweep|ApproPlan|Simulate)" ;;
+      # The distance-cache, simd-kernel, parallel-sweep, planner-hot-path
+      # and simulator-loop trajectory benches.
+      FILTER="--benchmark_filter=BM_(TwoOpt|TwoOptCached|OrOpt|OrOptCached|DistanceCacheBuild|SimdDistanceMatrix|SimdArgminScan|ParallelSweep|ApproPlan|ApproPlanJobs|ApproInsertion|SplitImprove|MinMaxKTours|Simulate)" ;;
     --filter=*)
       FILTER="--benchmark_filter=${arg#--filter=}" ;;
     *)

@@ -6,6 +6,7 @@
 
 #include "core/overlap_graph.h"
 #include "util/assert.h"
+#include "util/parallel.h"
 #include "util/simd.h"
 
 namespace mcharge::core {
@@ -62,6 +63,21 @@ class TravelCache {
     return depot_[static_cast<std::size_t>(compact_[u])];
   }
 
+  /// Eagerly fills every pair row with up to `jobs` workers. Each row is a
+  /// disjoint preallocated slot (and each row_filled_ flag a distinct
+  /// byte), so the fan-out follows the parallel_for determinism rules; a
+  /// filled row holds exactly the bits the lazy first-touch fill would
+  /// produce — same kernel, same operands — so plans cannot change, only
+  /// where the fill latency is paid.
+  void fill_all(std::size_t jobs) {
+    parallel_for(
+        ids_.size(),
+        [this](std::size_t iu) {
+          if (!row_filled_[iu]) fill_row(iu);
+        },
+        jobs);
+  }
+
  private:
   void fill_row(std::size_t iu) {
     const std::size_t m = ids_.size();
@@ -87,16 +103,28 @@ struct WorkTour {
   std::vector<double> finish;           ///< charging finish time f (Eq. (6))
 };
 
-/// Recomputes f along a tour from scratch (Eqs. (6), (11), (12) fold into
-/// a single forward pass once every stop's tau' is fixed).
-void recompute_finish(TravelCache& travel, WorkTour& tour) {
-  double clock = 0.0;
-  for (std::size_t l = 0; l < tour.seq.size(); ++l) {
+/// Recomputes f from position `from` onward, seeding the clock with the
+/// stored finish of the stop before `from`. An insertion at position
+/// `from` leaves seq/tau_prime on [0, from) untouched, so the stored
+/// finish[from - 1] holds exactly the bits a full forward pass would
+/// reach at that stop — the suffix pass therefore reproduces the
+/// from-scratch recomputation bit for bit (DESIGN.md, planner
+/// determinism).
+void recompute_finish_from(TravelCache& travel, WorkTour& tour,
+                           std::size_t from) {
+  double clock = from == 0 ? 0.0 : tour.finish[from - 1];
+  for (std::size_t l = from; l < tour.seq.size(); ++l) {
     clock += l == 0 ? travel.travel_depot(tour.seq[l])
                     : travel.travel(tour.seq[l - 1], tour.seq[l]);
     clock += tour.tau_prime[l];
     tour.finish[l] = clock;
   }
+}
+
+/// Recomputes f along a tour from scratch (Eqs. (6), (11), (12) fold into
+/// a single forward pass once every stop's tau' is fixed).
+void recompute_finish(TravelCache& travel, WorkTour& tour) {
+  recompute_finish_from(travel, tour, 0);
 }
 
 /// Travel detour of inserting sensor `u` right after position `pos`:
@@ -122,6 +150,14 @@ ApproScheduler::ApproScheduler(ApproOptions options)
 sched::ChargingPlan ApproScheduler::plan(
     const model::ChargingProblem& problem) const {
   return plan_with_stats(problem, nullptr);
+}
+
+sched::ChargingPlan ApproScheduler::plan_with_jobs(
+    const model::ChargingProblem& problem, std::size_t jobs) const {
+  if (jobs == 0 || jobs == options_.jobs) return plan(problem);
+  ApproOptions tuned = options_;
+  tuned.jobs = jobs;
+  return ApproScheduler(std::move(tuned)).plan(problem);
 }
 
 sched::ChargingPlan ApproScheduler::plan_with_stats(
@@ -171,13 +207,19 @@ sched::ChargingPlan ApproScheduler::plan_with_stats(
     tour_problem.sites.push_back(problem.position(sensor));
     tour_problem.service.push_back(problem.tau(sensor));
   }
+  tsp::MinMaxTourOptions tour_options = options_.tour;
+  if (tour_options.jobs == 0) tour_options.jobs = options_.jobs;
   const tsp::SplitResult split =
-      tsp::min_max_k_tours(tour_problem, k, options_.tour);
+      tsp::min_max_k_tours(tour_problem, k, tour_options);
 
   // Travel memo over the sensors the insertion phase can touch: every
-  // tour stop and every insertion candidate is a member of S_I.
+  // tour stop and every insertion candidate is a member of S_I. With a
+  // worker budget the rows are filled eagerly in one sharded pass (same
+  // bits as the lazy fills, see fill_all); serially the lazy first-touch
+  // fill avoids computing rows the insertion never reads.
   std::vector<std::uint32_t> si_sensors(s_i.begin(), s_i.end());
   TravelCache travel(problem, si_sensors);
+  if (options_.jobs > 1) travel.fill_all(options_.jobs);
 
   // Working tours over sensor ids, with tau' = tau (coverage disks of V'_H
   // nodes are pairwise disjoint, so nothing is double-counted initially).
@@ -226,8 +268,8 @@ sched::ChargingPlan ApproScheduler::plan_with_stats(
   std::vector<std::int32_t> seen_tours;
   seen_tours.reserve(k);
 
-  // f_N(u): max finish over u's H-neighbors that sit in a tour. Recomputed
-  // on demand each round because insertions shift finish times.
+  // f_N(u): max finish over u's H-neighbors that sit in a tour, via the
+  // exact scalar op sequence both insertion paths below replay.
   auto latest_neighbor_finish = [&](std::uint32_t hi) {
     double best = -kInf;
     for (graph::Vertex nb : h.neighbors(hi)) {
@@ -241,39 +283,27 @@ sched::ChargingPlan ApproScheduler::plan_with_stats(
     return best;
   };
 
-  while (!pending.empty()) {
-    // Pick the pending node with the smallest f_N (Algorithm 1, line 9).
-    std::size_t pick = 0;
-    double pick_fn = kInf;
-    for (std::size_t i = 0; i < pending.size(); ++i) {
-      const double fn = latest_neighbor_finish(pending[i]);
-      if (fn < pick_fn) {
-        pick_fn = fn;
-        pick = i;
-      }
-    }
-    const std::uint32_t hi = pending[pick];
-    pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(pick));
-    const std::uint32_t u = s_i[hi];
-
-    // Line 10: drop u if everything it would charge is already covered.
+  // Line 10: drop u when everything it would charge is already covered;
+  // otherwise report the charging duration its sojourn needs.
+  auto coverage_probe = [&](std::uint32_t u, double& tau_prime_u) {
     bool fully_covered = true;
-    double tau_prime_u = 0.0;
+    tau_prime_u = 0.0;
     for (std::uint32_t w : problem.coverage(u)) {
       if (!covered[w]) {
         fully_covered = false;
         tau_prime_u = std::max(tau_prime_u, problem.charge_seconds(w));
       }
     }
-    if (fully_covered) {
-      ++local_stats.dropped_covered;
-      continue;
-    }
+    return fully_covered;
+  };
 
-    // N'_H(u): H-neighbors already placed in tours. Non-empty because V'_H
-    // is maximal in H (u must have a neighbor in V'_H).
-    std::int32_t best_tour = -1;
-    std::size_t best_pos = 0;
+  // N'_H(u): H-neighbors already placed in tours. Non-empty because V'_H
+  // is maximal in H (u must have a neighbor in V'_H). Picks the placed
+  // neighbor the insertion rule prefers and bumps the case counters.
+  auto choose_placement = [&](std::uint32_t hi, std::uint32_t u,
+                              std::int32_t& best_tour, std::size_t& best_pos) {
+    best_tour = -1;
+    best_pos = 0;
     double best_key = -kInf;
     seen_tours.clear();
     for (graph::Vertex nb : h.neighbors(hi)) {
@@ -312,18 +342,151 @@ sched::ChargingPlan ApproScheduler::plan_with_stats(
     } else {
       ++local_stats.inserted_case_two;  // Case (ii)
     }
+  };
 
-    // Insert u just after its max-finish-time neighbor (Eqs. (9)/(13)).
-    auto& tour = tours[static_cast<std::size_t>(best_tour)];
-    const std::size_t insert_at = best_pos + 1;
-    tour.seq.insert(tour.seq.begin() + static_cast<std::ptrdiff_t>(insert_at), u);
+  // Insert u just after its chosen neighbor (Eqs. (9)/(13)): splice the
+  // stop, its charging duration and a finish slot in at `insert_at`.
+  auto splice = [](WorkTour& tour, std::size_t insert_at, std::uint32_t u,
+                   double tau_prime_u) {
+    tour.seq.insert(tour.seq.begin() + static_cast<std::ptrdiff_t>(insert_at),
+                    u);
     tour.tau_prime.insert(
         tour.tau_prime.begin() + static_cast<std::ptrdiff_t>(insert_at),
         tau_prime_u);
-    tour.finish.resize(tour.seq.size());
-    recompute_finish(travel, tour);
-    index_tours(static_cast<std::size_t>(best_tour));
-    for (std::uint32_t w : problem.coverage(u)) covered[w] = 1;
+    tour.finish.insert(
+        tour.finish.begin() + static_cast<std::ptrdiff_t>(insert_at), 0.0);
+  };
+
+  if (options_.legacy_insertion) {
+    // Reference path: full f_N rescans, whole-tour finish recomputation
+    // and a mid-vector erase every round — O(|P|^2 * deg) overall. Kept
+    // so the incremental path can be differentially tested against it.
+    while (!pending.empty()) {
+      // Pick the pending node with the smallest f_N (Algorithm 1, line 9).
+      std::size_t pick = 0;
+      double pick_fn = kInf;
+      for (std::size_t i = 0; i < pending.size(); ++i) {
+        const double fn = latest_neighbor_finish(pending[i]);
+        if (fn < pick_fn) {
+          pick_fn = fn;
+          pick = i;
+        }
+      }
+      const std::uint32_t hi = pending[pick];
+      pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(pick));
+      const std::uint32_t u = s_i[hi];
+
+      double tau_prime_u = 0.0;
+      if (coverage_probe(u, tau_prime_u)) {
+        ++local_stats.dropped_covered;
+        continue;
+      }
+      std::int32_t best_tour = -1;
+      std::size_t best_pos = 0;
+      choose_placement(hi, u, best_tour, best_pos);
+
+      auto& tour = tours[static_cast<std::size_t>(best_tour)];
+      const std::size_t insert_at = best_pos + 1;
+      splice(tour, insert_at, u, tau_prime_u);
+      recompute_finish(travel, tour);
+      index_tours(static_cast<std::size_t>(best_tour));
+      for (std::uint32_t w : problem.coverage(u)) covered[w] = 1;
+    }
+  } else {
+    // Incremental path — bit-identical to the reference by construction
+    // (DESIGN.md, "planner determinism"):
+    //  * f_N is cached per pending node. An insertion into tour t changes
+    //    finishes only in t (the suffix) and adds one placed neighbor (u,
+    //    in t), so only nodes with a placed H-neighbor in t can observe a
+    //    different value; per-(node, tour) placed-neighbor counts find
+    //    them. Dirty nodes recompute with the same scalar scan the
+    //    reference runs; clean nodes keep bits computed by that same scan
+    //    over operands that have not changed.
+    //  * finish times recompute from the insertion point only — the
+    //    prefix clock is the stored finish of the previous stop.
+    //  * picked nodes are tombstoned; the list compacts in order once
+    //    half the slots are dead. The alive scan visits survivors in the
+    //    exact order the erase-based reference keeps them, so the
+    //    lowest-index tie-break on equal f_N is preserved.
+    std::vector<std::uint32_t> nb_in_tour(s_i.size() * k, 0);
+    const auto count_placement = [&](std::uint32_t hi, std::size_t t) {
+      for (graph::Vertex nb : h.neighbors(hi)) {
+        ++nb_in_tour[static_cast<std::size_t>(nb) * k + t];
+      }
+    };
+    for (std::size_t i = 0; i < vh_local.size(); ++i) {
+      const std::uint32_t sensor = vh_sensors[i];
+      MCHARGE_ASSERT(tour_of[sensor] >= 0,
+                     "every V'_H member sits in an initial tour");
+      count_placement(vh_local[i], static_cast<std::size_t>(tour_of[sensor]));
+    }
+
+    std::vector<double> fn_cache(s_i.size(), -kInf);
+    for (std::uint32_t p : pending) {
+      fn_cache[p] = latest_neighbor_finish(p);
+    }
+
+    std::vector<char> gone(pending.size(), 0);
+    std::size_t alive = pending.size();
+    std::size_t dead = 0;
+    while (alive > 0) {
+      // Pick the pending node with the smallest f_N (Algorithm 1, line 9).
+      std::size_t pick = 0;
+      double pick_fn = kInf;
+      for (std::size_t i = 0; i < pending.size(); ++i) {
+        if (gone[i]) continue;
+        const double fn = fn_cache[pending[i]];
+        if (fn < pick_fn) {
+          pick_fn = fn;
+          pick = i;
+        }
+      }
+      const std::uint32_t hi = pending[pick];
+      gone[pick] = 1;
+      --alive;
+      if (++dead * 2 >= pending.size()) {
+        std::size_t w = 0;
+        for (std::size_t r = 0; r < pending.size(); ++r) {
+          if (!gone[r]) pending[w++] = pending[r];
+        }
+        pending.resize(w);
+        gone.assign(w, 0);
+        dead = 0;
+      }
+      const std::uint32_t u = s_i[hi];
+
+      double tau_prime_u = 0.0;
+      if (coverage_probe(u, tau_prime_u)) {
+        ++local_stats.dropped_covered;
+        continue;  // no tour changed: every cached f_N stays valid
+      }
+      std::int32_t best_tour = -1;
+      std::size_t best_pos = 0;
+      choose_placement(hi, u, best_tour, best_pos);
+
+      const auto t = static_cast<std::size_t>(best_tour);
+      auto& tour = tours[t];
+      const std::size_t insert_at = best_pos + 1;
+      splice(tour, insert_at, u, tau_prime_u);
+      recompute_finish_from(travel, tour, insert_at);
+      // Only positions at and after the insertion moved; earlier stops
+      // keep their (tour, position).
+      tour_of[u] = best_tour;
+      for (std::size_t l = insert_at; l < tour.seq.size(); ++l) {
+        pos_of[tour.seq[l]] = l;
+      }
+      for (std::uint32_t w : problem.coverage(u)) covered[w] = 1;
+      count_placement(hi, t);
+      // Dirty-set recompute: exactly the alive nodes with a placed
+      // H-neighbor in the mutated tour (now including u's neighbors).
+      for (std::size_t i = 0; i < pending.size(); ++i) {
+        if (gone[i]) continue;
+        const std::uint32_t p = pending[i];
+        if (nb_in_tour[static_cast<std::size_t>(p) * k + t] > 0) {
+          fn_cache[p] = latest_neighbor_finish(p);
+        }
+      }
+    }
   }
 
   // Every sensor must now be covered (S_I dominates G_c).

@@ -1,6 +1,7 @@
 #include "core/replan.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "core/overlap_graph.h"
@@ -115,21 +116,29 @@ ReplanResult replan_from(const model::ChargingProblem& problem,
     for (std::size_t j = 1; j < k; ++j) {
       if (load[j] < load[mcv]) mcv = j;
     }
-    double best = std::numeric_limits<double>::infinity();
+    // Nearest-stop argmin over squared distances: sqrt is strictly
+    // monotone, so the strict < keeps the same winner and the same
+    // lowest-index tie-break as comparing geom::distance directly —
+    // byte-identical tours for one sqrt per step instead of per scan.
+    const geom::Point from = at[mcv];
+    double best_sq = std::numeric_limits<double>::infinity();
     std::size_t best_i = 0;
+    bool found = false;
     for (std::size_t i = 0; i < stops.size(); ++i) {
       if (taken[i]) continue;
-      const double d =
-          geom::distance(at[mcv], result.subproblem.position(stops[i]));
-      if (d < best) {
-        best = d;
+      const double d_sq =
+          geom::distance_sq(from, result.subproblem.position(stops[i]));
+      if (d_sq < best_sq) {
+        best_sq = d_sq;
         best_i = i;
+        found = true;
       }
     }
+    MCHARGE_ASSERT(found, "an untaken stop must remain");
     taken[best_i] = 1;
     const graph::Vertex stop = stops[best_i];
     result.plan.tours[mcv].push_back(stop);
-    load[mcv] += best / result.subproblem.speed() +
+    load[mcv] += std::sqrt(best_sq) / result.subproblem.speed() +
                  result.subproblem.tau(stop);
     at[mcv] = result.subproblem.position(stop);
   }

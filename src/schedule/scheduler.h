@@ -1,6 +1,7 @@
 // The Scheduler interface implemented by algorithm Appro and the baselines.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <string>
 
@@ -20,6 +21,18 @@ class Scheduler {
 
   /// Computes a plan covering every sensor of the problem.
   virtual ChargingPlan plan(const model::ChargingProblem& problem) const = 0;
+
+  /// Computes the same plan using up to `jobs` worker threads for the
+  /// scheduler's internal parallel sections. jobs == 0 leaves the
+  /// scheduler's own configuration in effect (equivalent to plan()).
+  /// The thread count must never change the plan — only wall-clock time
+  /// (the repo-wide determinism contract); the default implementation
+  /// ignores the hint and plans serially.
+  virtual ChargingPlan plan_with_jobs(const model::ChargingProblem& problem,
+                                      std::size_t jobs) const {
+    (void)jobs;
+    return plan(problem);
+  }
 };
 
 using SchedulerPtr = std::unique_ptr<Scheduler>;

@@ -252,7 +252,8 @@ SimResult simulate(const model::WrsnInstance& instance,
     problem.set_residual_lifetimes(std::move(lifetimes));
     problem.set_charging_rate(net.charging_rate_w);
 
-    const sched::ChargingPlan plan = scheduler.plan(problem);
+    const sched::ChargingPlan plan =
+        scheduler.plan_with_jobs(problem, config.plan_jobs);
     const sched::ChargingSchedule schedule =
         sched::execute_plan(problem, plan);
 

@@ -63,6 +63,13 @@ struct SimConfig {
   /// where pool handoff would cost more than the scan. Tests lower this
   /// to force multi-shard execution at moderate n.
   std::size_t shard_grain = 1024;
+  /// Worker threads handed to the scheduler for its internal parallel
+  /// sections (Scheduler::plan_with_jobs): the per-segment tour
+  /// improvement and the eager travel-cache fill of the Appro planner.
+  /// 0 = leave the scheduler's own configuration in effect. Like `jobs`,
+  /// every value produces bit-identical SimResults — the planner writes
+  /// each segment into its own slot and reduces in index order.
+  std::size_t plan_jobs = 0;
 };
 
 /// One charging round as seen by the base station.

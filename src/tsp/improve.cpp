@@ -62,19 +62,39 @@ void fill_leg_times(const std::vector<double>& px,
   for (std::size_t k = 0; k < m; ++k) tc[k] = leg_time(px, py, speed, k);
 }
 
-}  // namespace
+// Shared implementations with an optional convergence report. `converged`
+// (when non-null) is set to true iff the operator's final full scan over
+// the move set was clean — i.e. re-running the operator on the returned
+// tour would provably apply no move and return exactly 0.0 — and to false
+// when the pass/move budget ran out while moves were still being applied.
+// improve_tour uses this to skip rounds that are guaranteed no-ops.
 
-double two_opt(const TourProblem& problem, Tour& tour,
-               const ImproveOptions& options) {
+double two_opt_impl(const TourProblem& problem, Tour& tour,
+                    const ImproveOptions& options, bool* converged) {
+  if (converged) *converged = true;
   const std::size_t m = tour.size();
   if (m < 2) return 0.0;
   std::vector<double> px, py, tc;
   mirror_tour(problem, tour, px, py);
   fill_leg_times(px, py, problem.speed, tc);
 
+  // Exact-replay cache over left edges: clean[i] == 1 records that edge
+  // i's whole j scan completed with zero hits against the current tour.
+  // That scan reads only positions >= i - 1 (ax/bx/base from i-1 and i,
+  // P[j], P[j+1] and tc[j] for j > i), and a reversal of [i*, j*] changes
+  // positions [i*, j*] and the legs beside them only — so facts for
+  // i >= j* + 2 survive every reversal and the later passes of the
+  // restart loop, which would re-scan those edges and find nothing, skip
+  // them with identical bits. An edge whose scan hit at least once is
+  // never marked: the scalar loop resumes after the reversed window
+  // without rescanning it, so "no further hit" says nothing about the
+  // positions behind the resume point.
+  std::vector<unsigned char> clean(m, 0);
+
   double saved = 0.0;
+  bool improved = true;
   for (std::size_t pass = 0; pass < options.max_passes; ++pass) {
-    bool improved = false;
+    improved = false;
     // Reverse tour[i..j]; affected legs: (i-1, i) and (j, j+1) become
     // (i-1, j) and (i, j+1). Depot legs included via sentinel positions.
     // For each left edge the j loop is a first-improvement scan with a
@@ -83,6 +103,7 @@ double two_opt(const TourProblem& problem, Tour& tour,
     // with the scalar comparison sequence. After a reversal the scan
     // resumes at j + 1 on the updated tour, as the scalar loop did.
     for (std::size_t i = 0; i + 1 < m; ++i) {
+      if (clean[i]) continue;
       const auto ip = static_cast<std::ptrdiff_t>(i);
       const double ax = i == 0 ? problem.depot.x : px[i - 1];
       const double ay = i == 0 ? problem.depot.y : py[i - 1];
@@ -93,6 +114,7 @@ double two_opt(const TourProblem& problem, Tour& tour,
       // scalar loop skipped it, so the scan simply ends one j earlier.
       const std::size_t j_end = i == 0 ? m - 1 : m;
       std::size_t j = i + 1;
+      bool any_hit = false;
       while (j < j_end) {
         const std::size_t hit = simd::two_opt_scan(
             px.data(), py.data(), tc.data(), j, j_end, ax, ay, bx, by,
@@ -113,36 +135,162 @@ double two_opt(const TourProblem& problem, Tour& tour,
         if (i > 0) tc[i - 1] = leg_time(px, py, problem.speed, i - 1);
         saved += before - after;
         improved = true;
+        any_hit = true;
+        // The reversal moved positions [i, hit]: every left-edge fact that
+        // reads any of them (i' <= hit + 1) is stale.
+        std::fill(clean.begin(),
+                  clean.begin() + static_cast<std::ptrdiff_t>(
+                                      std::min(hit + 2, m)),
+                  0);
         // Position i now holds a different point; position i-1 did not move.
         bx = px[i];
         by = py[i];
         base = leg(problem, tour, ip - 1, ip);
         j = hit + 1;
       }
+      if (!any_hit) clean[i] = 1;
     }
     if (!improved) break;
   }
+  if (converged) *converged = !improved;
   return saved;
 }
 
-double or_opt(const TourProblem& problem, Tour& tour,
-              const ImproveOptions& options) {
+// Or-opt with exact-replay candidate caching.
+//
+// The scalar reference is a restart loop: after every applied move the
+// walk over candidates (segment length 1..3, start position i ascending,
+// insertion slots k = depot, then [0, i-1), then [i+len, m)) starts over
+// from the beginning, so every candidate before the next improving one is
+// re-evaluated against an unchanged tour and reaches the same conclusion
+// it reached last time, bit for bit. This implementation records those
+// conclusions instead of recomputing them. A recorded fact describes the
+// *current* tour:
+//   kRemovalFail — removal_gain <= min_gain, so no insertion slot was
+//                  even scanned; only the removal legs matter.
+//   kScanClean   — removal_gain > min_gain but no insertion slot beats
+//                  the threshold (cached in `thr`).
+// A move relocates segment [i, i+len) to slot k. Positions outside the
+// contiguous window W = [k+1, i+len) (move left, k < i) or W = [i, k+1)
+// (move right, k >= i+len) keep their points, so after each move:
+//   * facts whose removal legs touch W (start position in
+//     [W.lo - len', W.hi]) are discarded;
+//   * surviving kRemovalFail facts need nothing else;
+//   * surviving kScanClean facts re-check only the insertion slots whose
+//     inputs changed (k in [W.lo - 1, W.hi), plus the depot slot when
+//     W.lo == 0); an improving re-check demotes the fact to kUnknown and
+//     the main walk re-evaluates that candidate in order.
+// Each conclusion the walk skips is exactly the conclusion the restart
+// loop would recompute, so the sequence of applied moves — and the final
+// tour and total gain — keep identical bits while the per-move cost drops
+// from a full O(m^2) rescan to O(m + m * |W|).
+double or_opt_impl(const TourProblem& problem, Tour& tour,
+                   const ImproveOptions& options, bool* converged) {
+  if (converged) *converged = true;
   const auto m = static_cast<std::ptrdiff_t>(tour.size());
   if (m < 3) return 0.0;
   std::vector<double> px, py, tc;
-  double saved = 0.0;
-  for (std::size_t pass = 0; pass < options.max_passes; ++pass) {
-    bool improved = false;
-    mirror_tour(problem, tour, px, py);
-    fill_leg_times(px, py, problem.speed, tc);
+  mirror_tour(problem, tour, px, py);
+  fill_leg_times(px, py, problem.speed, tc);
+
+  enum : unsigned char { kUnknown = 0, kRemovalFail = 1, kScanClean = 2 };
+  const auto mu = static_cast<std::size_t>(m);
+  std::vector<unsigned char> fact(3 * mu, kUnknown);
+  std::vector<double> thr(3 * mu, 0.0);  // threshold, valid under kScanClean
+  const auto slot = [mu](std::ptrdiff_t len, std::ptrdiff_t i) {
+    return static_cast<std::size_t>(len - 1) * mu + static_cast<std::size_t>(i);
+  };
+
+  // "Does any slot in [a, b) beat the threshold?" — the kernels promise
+  // the scalar comparison sequence bit for bit, so short windows may skip
+  // the dispatch and run the same sequence inline; the length cutoff can
+  // steer only where the identical verdict is computed, never what it is.
+  const auto any_improving = [&](std::size_t a, std::size_t b, double ix,
+                                 double iy, double ex, double ey,
+                                 double threshold) {
+    if (b - a < 24) {
+      for (std::size_t kk = a; kk < b; ++kk) {
+        const double dax = px[kk] - ix;
+        const double day = py[kk] - iy;
+        const double da = std::sqrt(dax * dax + day * day);
+        const double dbx = ex - px[kk + 1];
+        const double dby = ey - py[kk + 1];
+        const double db = std::sqrt(dbx * dbx + dby * dby);
+        if (da / problem.speed + db / problem.speed - tc[kk] < threshold) {
+          return true;
+        }
+      }
+      return false;
+    }
+    return simd::or_opt_scan(px.data(), py.data(), tc.data(), a, b, ix, iy,
+                             ex, ey, problem.speed,
+                             threshold) != simd::kNpos;
+  };
+
+  // Repairs recorded facts after a move changed positions [lo, hi).
+  const auto refresh_facts = [&](std::ptrdiff_t lo, std::ptrdiff_t hi) {
+    const auto ka =
+        static_cast<std::size_t>(std::max<std::ptrdiff_t>(0, lo - 1));
+    const auto kb = static_cast<std::size_t>(hi);  // changed slots: [ka, kb)
     for (std::ptrdiff_t len = 1; len <= 3 && len < m; ++len) {
-      for (std::ptrdiff_t i = 0; i + len <= m && !improved; ++i) {
+      for (std::ptrdiff_t i = 0; i + len <= m; ++i) {
+        unsigned char& f = fact[slot(len, i)];
+        if (f == kUnknown) continue;
+        if (i >= lo - len && i <= hi) {  // removal legs touch W
+          f = kUnknown;
+          continue;
+        }
+        if (f == kRemovalFail) continue;
+        // kScanClean: the removal legs are untouched, so the cached
+        // threshold keeps its bits; re-check the changed slots only.
+        const double threshold = thr[slot(len, i)];
+        const double ix = px[static_cast<std::size_t>(i)];
+        const double iy = py[static_cast<std::size_t>(i)];
+        const double ex = px[static_cast<std::size_t>(i + len - 1)];
+        const double ey = py[static_cast<std::size_t>(i + len - 1)];
+        bool improving = false;
+        if (lo == 0 && i > 0) {  // depot slot reads position 0
+          const double depot_cost = leg(problem, tour, -1, i) +
+                                    leg(problem, tour, i + len - 1, 0) -
+                                    leg(problem, tour, -1, 0);
+          if (depot_cost < threshold) improving = true;
+        }
+        if (!improving && i >= 2) {
+          const std::size_t b =
+              std::min<std::size_t>(kb, static_cast<std::size_t>(i - 1));
+          if (ka < b && any_improving(ka, b, ix, iy, ex, ey, threshold)) {
+            improving = true;
+          }
+        }
+        if (!improving) {
+          const std::size_t a =
+              std::max<std::size_t>(ka, static_cast<std::size_t>(i + len));
+          const std::size_t b = std::min<std::size_t>(kb, mu);
+          if (a < b && any_improving(a, b, ix, iy, ex, ey, threshold)) {
+            improving = true;
+          }
+        }
+        if (improving) f = kUnknown;
+      }
+    }
+  };
+
+  double saved = 0.0;
+  bool applied = true;
+  for (std::size_t moves = 0; applied && moves < options.max_passes;) {
+    applied = false;
+    for (std::ptrdiff_t len = 1; len <= 3 && len < m; ++len) {
+      for (std::ptrdiff_t i = 0; i + len <= m && !applied; ++i) {
+        if (fact[slot(len, i)] != kUnknown) continue;
         // Segment [i, i+len); try inserting after position k (k outside the
         // segment), i.e. between k and k+1.
         const double removal_gain = leg(problem, tour, i - 1, i) +
                                     leg(problem, tour, i + len - 1, i + len) -
                                     leg(problem, tour, i - 1, i + len);
-        if (removal_gain <= options.min_gain) continue;
+        if (removal_gain <= options.min_gain) {
+          fact[slot(len, i)] = kRemovalFail;
+          continue;
+        }
         const double threshold = removal_gain - options.min_gain;
         const double ix = px[static_cast<std::size_t>(i)];
         const double iy = py[static_cast<std::size_t>(i)];
@@ -173,7 +321,11 @@ double or_opt(const TourProblem& problem, Tour& tour,
               ix, iy, ex, ey, problem.speed, threshold);
           if (hit != simd::kNpos) k = static_cast<std::ptrdiff_t>(hit);
         }
-        if (k == -2) continue;
+        if (k == -2) {
+          fact[slot(len, i)] = kScanClean;
+          thr[slot(len, i)] = threshold;
+          continue;
+        }
         const double insert_cost = leg(problem, tour, k, i) +
                                    leg(problem, tour, i + len - 1, k + 1) -
                                    leg(problem, tour, k, k + 1);
@@ -183,24 +335,66 @@ double or_opt(const TourProblem& problem, Tour& tour,
         const std::ptrdiff_t dest = k < i ? k + 1 : k + 1 - len;
         tour.insert(tour.begin() + dest, segment.begin(), segment.end());
         saved += removal_gain - insert_cost;
-        improved = true;  // positions shifted; restart the pass conservatively
+        ++moves;
+        applied = true;  // positions shifted; restart the walk
+        // Re-mirror (pure function of the tour — identical bits to the
+        // per-pass rebuild of the restart loop), then repair the facts.
+        mirror_tour(problem, tour, px, py);
+        fill_leg_times(px, py, problem.speed, tc);
+        refresh_facts(k < i ? k + 1 : i, k < i ? i + len : k + 1);
       }
-      if (improved) break;
+      if (applied) break;
     }
-    if (!improved) break;
   }
+  if (converged) *converged = !applied;
   return saved;
+}
+
+}  // namespace
+
+double two_opt(const TourProblem& problem, Tour& tour,
+               const ImproveOptions& options) {
+  return two_opt_impl(problem, tour, options, nullptr);
+}
+
+double or_opt(const TourProblem& problem, Tour& tour,
+              const ImproveOptions& options) {
+  return or_opt_impl(problem, tour, options, nullptr);
 }
 
 double improve_tour(const TourProblem& problem, Tour& tour,
                     const ImproveOptions& options) {
   double saved = 0.0;
+  // "The current tour was verified move-free by a full or_opt walk" — set
+  // by a converged or_opt and preserved while nothing touches the tour.
+  // Every applied move gains strictly more than min_gain > 0, so an
+  // operator returns exactly 0.0 iff it applied no move and left the tour
+  // untouched; that makes both skips below provably bit-neutral: the
+  // skipped work would have contributed 0.0 and changed nothing.
+  bool or_clean = false;
   for (std::size_t round = 0; round < options.max_passes; ++round) {
-    double round_gain = 0.0;
-    if (options.use_two_opt) round_gain += two_opt(problem, tour, options);
-    if (options.use_or_opt) round_gain += or_opt(problem, tour, options);
+    double two_gain = 0.0;
+    double or_gain = 0.0;
+    bool two_converged = true;
+    bool or_converged = true;
+    if (options.use_two_opt) {
+      two_gain = two_opt_impl(problem, tour, options, &two_converged);
+      if (two_gain != 0.0) or_clean = false;  // tour changed under the fact
+    }
+    if (options.use_or_opt && !or_clean) {
+      or_gain = or_opt_impl(problem, tour, options, &or_converged);
+      or_clean = or_converged;
+    }
+    const double round_gain = two_gain + or_gain;
     saved += round_gain;
     if (round_gain <= options.min_gain) break;
+    // A follow-up round is provably a no-op when two_opt's last full scan
+    // was clean with nothing running after it (or_gain == 0.0) and the
+    // or-opt move set is verified clean as well.
+    const bool two_settled =
+        !options.use_two_opt || (two_converged && or_gain == 0.0);
+    const bool or_settled = !options.use_or_opt || or_clean;
+    if (two_settled && or_settled) break;
   }
   return saved;
 }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "util/assert.h"
+#include "util/parallel.h"
 #include "util/simd.h"
 
 namespace mcharge::tsp {
@@ -121,9 +122,14 @@ SplitResult min_max_k_tours(const TourProblem& problem, std::size_t k,
   improve_tour(problem, tour, options.improve);
   SplitResult result = split_min_max(problem, tour, k);
   if (options.improve_segments) {
-    for (auto& segment : result.tours) {
-      two_opt(problem, segment, options.improve);
-    }
+    // The segments are disjoint, every two_opt reads only the (already
+    // built) distance cache and writes only its own tour, and the
+    // max-delay reduction below runs after the fan-out in index order —
+    // so the thread count cannot change a single bit of any tour.
+    parallel_for(
+        result.tours.size(),
+        [&](std::size_t t) { two_opt(problem, result.tours[t], options.improve); },
+        std::max<std::size_t>(1, options.jobs));
     result.max_delay = max_segment_delay(problem, result.tours);
   }
   return result;

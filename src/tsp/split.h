@@ -11,6 +11,7 @@
 // finds the optimal cut of the given tour (up to numeric tolerance).
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "tsp/construct.h"
@@ -34,6 +35,12 @@ struct MinMaxTourOptions {
   TourBuilder builder = TourBuilder::kChristofides;
   ImproveOptions improve;       ///< applied to the global tour before split
   bool improve_segments = true; ///< 2-opt each segment after splitting
+  /// Worker threads for the per-segment improvement pass — the K segments
+  /// are independent, so each is improved in place in its own slot and
+  /// the max-delay reduction runs afterwards in index order; any thread
+  /// count yields byte-identical tours. 0 = serial (unlike parallel_for,
+  /// where 0 means default_jobs()).
+  std::size_t jobs = 0;
 };
 
 /// End-to-end K min-max closed tours over all sites of `problem`:

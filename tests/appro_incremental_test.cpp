@@ -1,0 +1,536 @@
+// Differential tests for the incremental planner hot path.
+//
+// Two independent reference implementations are frozen in this file:
+//  * ApproOptions::legacy_insertion — the O(|P|^2 * deg) insertion phase
+//    (full f_N rescans, whole-tour finish recomputation, mid-vector
+//    erase), kept alive in src/core/appro.cpp behind the flag;
+//  * reference::two_opt / or_opt / improve_tour — the pre-cache restart
+//    loops, copied verbatim from the original src/tsp/improve.cpp.
+//
+// The claim under test is BITWISE identity, the repo-wide determinism
+// contract: the incremental insertion, the exact-replay local-search
+// caches, and every jobs / SIMD-backend setting must reproduce the
+// reference plans and tours bit for bit — same tours, same stats, same
+// gains — across problem sizes, insertion rules and seeds. memcmp on a
+// flat serialization keeps the comparison honest (no epsilon anywhere).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "core/appro.h"
+#include "model/charging_problem.h"
+#include "tsp/improve.h"
+#include "tsp/tour_problem.h"
+#include "util/rng.h"
+#include "util/simd.h"
+
+namespace mcharge {
+namespace {
+
+/// Pins a backend for a scope; restores the previous one on exit.
+class BackendGuard {
+ public:
+  explicit BackendGuard(simd::Backend b) : prev_(simd::active_backend()) {
+    active_ = simd::set_backend(b);
+  }
+  ~BackendGuard() { simd::set_backend(prev_); }
+  simd::Backend active() const { return active_; }
+
+ private:
+  simd::Backend prev_;
+  simd::Backend active_;
+};
+
+/// All backends this build + CPU can actually run.
+std::vector<simd::Backend> supported_backends() {
+  std::vector<simd::Backend> out{simd::Backend::kScalar};
+  for (simd::Backend b : {simd::Backend::kAvx2, simd::Backend::kAvx512}) {
+    BackendGuard guard(b);
+    if (guard.active() == b) out.push_back(b);
+  }
+  return out;
+}
+
+/// One fresh charging round, the bench generator's shape (uniform field,
+/// deficits within the paper's battery range).
+model::ChargingProblem random_round(std::size_t n, std::size_t k,
+                                    std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<geom::Point> pts;
+  std::vector<double> deficits;
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)});
+    deficits.push_back(rng.uniform(3456.0, 5400.0));
+  }
+  return model::ChargingProblem(std::move(pts), std::move(deficits),
+                                {50.0, 50.0}, 2.7, 1.0, k);
+}
+
+/// Flat, unambiguous byte image of a plan (every field length-prefixed),
+/// so memcmp equality == structural equality.
+std::vector<unsigned char> serialize(const sched::ChargingPlan& plan) {
+  std::vector<unsigned char> out;
+  const auto put = [&out](const void* p, std::size_t bytes) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    out.insert(out.end(), b, b + bytes);
+  };
+  const auto put_u64 = [&put](std::uint64_t v) { put(&v, sizeof v); };
+  put_u64(static_cast<std::uint64_t>(plan.mode));
+  put_u64(plan.tours.size());
+  for (const auto& tour : plan.tours) {
+    put_u64(tour.size());
+    put(tour.data(), tour.size() * sizeof(std::uint32_t));
+  }
+  put_u64(plan.starts.size());
+  for (const geom::Point& p : plan.starts) {
+    put(&p.x, sizeof p.x);
+    put(&p.y, sizeof p.y);
+  }
+  return out;
+}
+
+bool bytes_equal(const std::vector<unsigned char>& a,
+                 const std::vector<unsigned char>& b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(), a.size()) == 0);
+}
+
+void expect_stats_equal(const core::ApproStats& a, const core::ApproStats& b) {
+  EXPECT_EQ(a.v_s, b.v_s);
+  EXPECT_EQ(a.s_i, b.s_i);
+  EXPECT_EQ(a.v_h, b.v_h);
+  EXPECT_EQ(a.h_max_degree, b.h_max_degree);
+  EXPECT_EQ(a.inserted_case_one, b.inserted_case_one);
+  EXPECT_EQ(a.inserted_case_two, b.inserted_case_two);
+  EXPECT_EQ(a.dropped_covered, b.dropped_covered);
+}
+
+// ---------------------------------------------------------------------------
+// Reference local search: the original restart loops of src/tsp/improve.cpp
+// (no exact-replay caches, no convergence skips), frozen here so the cached
+// production code has an in-tree witness of the semantics it must replay.
+
+namespace reference {
+
+double leg(const tsp::TourProblem& p, const tsp::Tour& t, std::ptrdiff_t i,
+           std::ptrdiff_t j) {
+  const bool i_depot = i < 0 || i >= static_cast<std::ptrdiff_t>(t.size());
+  const bool j_depot = j < 0 || j >= static_cast<std::ptrdiff_t>(t.size());
+  if (i_depot && j_depot) return 0.0;
+  if (i_depot) return p.travel_depot(t[static_cast<std::size_t>(j)]);
+  if (j_depot) return p.travel_depot(t[static_cast<std::size_t>(i)]);
+  return p.travel(t[static_cast<std::size_t>(i)],
+                  t[static_cast<std::size_t>(j)]);
+}
+
+void mirror_tour(const tsp::TourProblem& problem, const tsp::Tour& tour,
+                 std::vector<double>& px, std::vector<double>& py) {
+  const std::size_t m = tour.size();
+  px.resize(m + 1);
+  py.resize(m + 1);
+  for (std::size_t p = 0; p < m; ++p) {
+    px[p] = problem.sites[tour[p]].x;
+    py[p] = problem.sites[tour[p]].y;
+  }
+  px[m] = problem.depot.x;
+  py[m] = problem.depot.y;
+}
+
+double leg_time(const std::vector<double>& px, const std::vector<double>& py,
+                double speed, std::size_t k) {
+  const double dx = px[k] - px[k + 1];
+  const double dy = py[k] - py[k + 1];
+  return std::sqrt(dx * dx + dy * dy) / speed;
+}
+
+void fill_leg_times(const std::vector<double>& px,
+                    const std::vector<double>& py, double speed,
+                    std::vector<double>& tc) {
+  const std::size_t m = px.size() - 1;
+  tc.resize(m);
+  for (std::size_t k = 0; k < m; ++k) tc[k] = leg_time(px, py, speed, k);
+}
+
+double two_opt(const tsp::TourProblem& problem, tsp::Tour& tour,
+               const tsp::ImproveOptions& options) {
+  const std::size_t m = tour.size();
+  if (m < 2) return 0.0;
+  std::vector<double> px, py, tc;
+  mirror_tour(problem, tour, px, py);
+  fill_leg_times(px, py, problem.speed, tc);
+
+  double saved = 0.0;
+  for (std::size_t pass = 0; pass < options.max_passes; ++pass) {
+    bool improved = false;
+    for (std::size_t i = 0; i + 1 < m; ++i) {
+      const auto ip = static_cast<std::ptrdiff_t>(i);
+      const double ax = i == 0 ? problem.depot.x : px[i - 1];
+      const double ay = i == 0 ? problem.depot.y : py[i - 1];
+      double bx = px[i];
+      double by = py[i];
+      double base = leg(problem, tour, ip - 1, ip);
+      const std::size_t j_end = i == 0 ? m - 1 : m;
+      std::size_t j = i + 1;
+      while (j < j_end) {
+        const std::size_t hit = simd::two_opt_scan(
+            px.data(), py.data(), tc.data(), j, j_end, ax, ay, bx, by,
+            problem.speed, base, options.min_gain);
+        if (hit == simd::kNpos) break;
+        const auto jp = static_cast<std::ptrdiff_t>(hit);
+        const double before =
+            leg(problem, tour, ip - 1, ip) + leg(problem, tour, jp, jp + 1);
+        const double after =
+            leg(problem, tour, ip - 1, jp) + leg(problem, tour, ip, jp + 1);
+        std::reverse(tour.begin() + ip, tour.begin() + jp + 1);
+        std::reverse(px.begin() + ip, px.begin() + jp + 1);
+        std::reverse(py.begin() + ip, py.begin() + jp + 1);
+        std::reverse(tc.begin() + ip, tc.begin() + jp);
+        tc[hit] = leg_time(px, py, problem.speed, hit);
+        if (i > 0) tc[i - 1] = leg_time(px, py, problem.speed, i - 1);
+        saved += before - after;
+        improved = true;
+        bx = px[i];
+        by = py[i];
+        base = leg(problem, tour, ip - 1, ip);
+        j = hit + 1;
+      }
+    }
+    if (!improved) break;
+  }
+  return saved;
+}
+
+double or_opt(const tsp::TourProblem& problem, tsp::Tour& tour,
+              const tsp::ImproveOptions& options) {
+  const auto m = static_cast<std::ptrdiff_t>(tour.size());
+  if (m < 3) return 0.0;
+  std::vector<double> px, py, tc;
+  double saved = 0.0;
+  for (std::size_t pass = 0; pass < options.max_passes; ++pass) {
+    bool improved = false;
+    mirror_tour(problem, tour, px, py);
+    fill_leg_times(px, py, problem.speed, tc);
+    for (std::ptrdiff_t len = 1; len <= 3 && len < m; ++len) {
+      for (std::ptrdiff_t i = 0; i + len <= m && !improved; ++i) {
+        const double removal_gain = leg(problem, tour, i - 1, i) +
+                                    leg(problem, tour, i + len - 1, i + len) -
+                                    leg(problem, tour, i - 1, i + len);
+        if (removal_gain <= options.min_gain) continue;
+        const double threshold = removal_gain - options.min_gain;
+        const double ix = px[static_cast<std::size_t>(i)];
+        const double iy = py[static_cast<std::size_t>(i)];
+        const double ex = px[static_cast<std::size_t>(i + len - 1)];
+        const double ey = py[static_cast<std::size_t>(i + len - 1)];
+        std::ptrdiff_t k = -2;  // -2: no improving position found
+        if (i > 0) {
+          const double depot_cost = leg(problem, tour, -1, i) +
+                                    leg(problem, tour, i + len - 1, 0) -
+                                    leg(problem, tour, -1, 0);
+          if (depot_cost < threshold) k = -1;
+        }
+        if (k == -2 && i >= 2) {
+          const std::size_t hit = simd::or_opt_scan(
+              px.data(), py.data(), tc.data(), 0,
+              static_cast<std::size_t>(i - 1), ix, iy, ex, ey, problem.speed,
+              threshold);
+          if (hit != simd::kNpos) k = static_cast<std::ptrdiff_t>(hit);
+        }
+        if (k == -2) {
+          const std::size_t hit = simd::or_opt_scan(
+              px.data(), py.data(), tc.data(),
+              static_cast<std::size_t>(i + len), static_cast<std::size_t>(m),
+              ix, iy, ex, ey, problem.speed, threshold);
+          if (hit != simd::kNpos) k = static_cast<std::ptrdiff_t>(hit);
+        }
+        if (k == -2) continue;
+        const double insert_cost = leg(problem, tour, k, i) +
+                                   leg(problem, tour, i + len - 1, k + 1) -
+                                   leg(problem, tour, k, k + 1);
+        tsp::Tour segment(tour.begin() + i, tour.begin() + i + len);
+        tour.erase(tour.begin() + i, tour.begin() + i + len);
+        const std::ptrdiff_t dest = k < i ? k + 1 : k + 1 - len;
+        tour.insert(tour.begin() + dest, segment.begin(), segment.end());
+        saved += removal_gain - insert_cost;
+        improved = true;
+      }
+      if (improved) break;
+    }
+    if (!improved) break;
+  }
+  return saved;
+}
+
+double improve_tour(const tsp::TourProblem& problem, tsp::Tour& tour,
+                    const tsp::ImproveOptions& options) {
+  double saved = 0.0;
+  for (std::size_t round = 0; round < options.max_passes; ++round) {
+    double round_gain = 0.0;
+    // Qualified: the unqualified names would also find tsp:: via ADL.
+    if (options.use_two_opt) {
+      round_gain += reference::two_opt(problem, tour, options);
+    }
+    if (options.use_or_opt) {
+      round_gain += reference::or_opt(problem, tour, options);
+    }
+    saved += round_gain;
+    if (round_gain <= options.min_gain) break;
+  }
+  return saved;
+}
+
+}  // namespace reference
+
+tsp::TourProblem random_tour_problem(std::size_t m, std::uint64_t seed) {
+  Rng rng(seed);
+  tsp::TourProblem problem;
+  for (std::size_t i = 0; i < m; ++i) {
+    problem.sites.push_back({rng.uniform(0.0, 100.0),
+                             rng.uniform(0.0, 100.0)});
+    problem.service.push_back(rng.uniform(100.0, 4000.0));
+  }
+  problem.depot = {50.0, 50.0};
+  problem.speed = 1.0;
+  return problem;
+}
+
+tsp::Tour identity_tour(std::size_t m) {
+  tsp::Tour tour(m);
+  for (std::size_t i = 0; i < m; ++i) tour[i] = static_cast<tsp::SiteId>(i);
+  return tour;
+}
+
+const std::vector<std::size_t> kTourSizes = {0, 1, 2, 3, 4, 5, 8,
+                                             13, 30, 75, 150, 350};
+
+// ---------------------------------------------------------------------------
+
+TEST(ImproveCache, TwoOptMatchesReferenceRestartLoop) {
+  for (std::size_t m : kTourSizes) {
+    const tsp::TourProblem problem = random_tour_problem(m, 1000 + m);
+    for (simd::Backend b : supported_backends()) {
+      BackendGuard guard(b);
+      tsp::Tour expected = identity_tour(m);
+      const double ref_gain = reference::two_opt(problem, expected, {});
+      tsp::Tour actual = identity_tour(m);
+      const double gain = tsp::two_opt(problem, actual, {});
+      EXPECT_EQ(expected, actual) << "m=" << m
+                                  << " backend=" << static_cast<int>(b);
+      EXPECT_EQ(ref_gain, gain) << "m=" << m;
+    }
+  }
+}
+
+TEST(ImproveCache, OrOptMatchesReferenceRestartLoop) {
+  for (std::size_t m : kTourSizes) {
+    const tsp::TourProblem problem = random_tour_problem(m, 2000 + m);
+    for (simd::Backend b : supported_backends()) {
+      BackendGuard guard(b);
+      tsp::Tour expected = identity_tour(m);
+      const double ref_gain = reference::or_opt(problem, expected, {});
+      tsp::Tour actual = identity_tour(m);
+      const double gain = tsp::or_opt(problem, actual, {});
+      EXPECT_EQ(expected, actual) << "m=" << m
+                                  << " backend=" << static_cast<int>(b);
+      EXPECT_EQ(ref_gain, gain) << "m=" << m;
+    }
+  }
+}
+
+TEST(ImproveCache, ImproveTourMatchesReferenceAlternation) {
+  for (std::size_t m : kTourSizes) {
+    const tsp::TourProblem problem = random_tour_problem(m, 3000 + m);
+    for (simd::Backend b : supported_backends()) {
+      BackendGuard guard(b);
+      tsp::Tour expected = identity_tour(m);
+      const double ref_gain = reference::improve_tour(problem, expected, {});
+      tsp::Tour actual = identity_tour(m);
+      const double gain = tsp::improve_tour(problem, actual, {});
+      EXPECT_EQ(expected, actual) << "m=" << m
+                                  << " backend=" << static_cast<int>(b);
+      EXPECT_EQ(ref_gain, gain) << "m=" << m;
+    }
+  }
+}
+
+// The move/pass budget is part of the observable semantics: the cached
+// or_opt counts applied moves where the reference counts restart passes
+// (one move each), and the cached two_opt counts full sweeps — both must
+// truncate at exactly the same tour.
+TEST(ImproveCache, TruncatedBudgetsMatchReference) {
+  for (std::size_t max_passes : {std::size_t{1}, std::size_t{2},
+                                 std::size_t{3}, std::size_t{7}}) {
+    tsp::ImproveOptions options;
+    options.max_passes = max_passes;
+    for (std::size_t m : {std::size_t{30}, std::size_t{150}}) {
+      const tsp::TourProblem problem = random_tour_problem(m, 4000 + m);
+      {
+        tsp::Tour expected = identity_tour(m);
+        const double ref_gain = reference::two_opt(problem, expected, options);
+        tsp::Tour actual = identity_tour(m);
+        const double gain = tsp::two_opt(problem, actual, options);
+        EXPECT_EQ(expected, actual) << "two_opt m=" << m
+                                    << " passes=" << max_passes;
+        EXPECT_EQ(ref_gain, gain);
+      }
+      {
+        tsp::Tour expected = identity_tour(m);
+        const double ref_gain = reference::or_opt(problem, expected, options);
+        tsp::Tour actual = identity_tour(m);
+        const double gain = tsp::or_opt(problem, actual, options);
+        EXPECT_EQ(expected, actual) << "or_opt m=" << m
+                                    << " passes=" << max_passes;
+        EXPECT_EQ(ref_gain, gain);
+      }
+    }
+  }
+}
+
+// Partially-disabled operators exercise the improve_tour skip logic's
+// edge cases (or_clean must never suppress a two_opt-only round).
+TEST(ImproveCache, ImproveTourOperatorSubsetsMatchReference) {
+  for (bool use_two : {true, false}) {
+    for (bool use_or : {true, false}) {
+      tsp::ImproveOptions options;
+      options.use_two_opt = use_two;
+      options.use_or_opt = use_or;
+      for (std::size_t m : {std::size_t{75}, std::size_t{150}}) {
+        const tsp::TourProblem problem = random_tour_problem(m, 5000 + m);
+        tsp::Tour expected = identity_tour(m);
+        const double ref_gain =
+            reference::improve_tour(problem, expected, options);
+        tsp::Tour actual = identity_tour(m);
+        const double gain = tsp::improve_tour(problem, actual, options);
+        EXPECT_EQ(expected, actual)
+            << "m=" << m << " two=" << use_two << " or=" << use_or;
+        EXPECT_EQ(ref_gain, gain);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+struct RoundCase {
+  std::size_t n;
+  std::vector<std::uint64_t> seeds;
+};
+
+// The acceptance matrix: {legacy, incremental} x insertion rules x jobs
+// {0, 1, 4, 8} x every supported SIMD backend, memcmp'd plan + stats.
+// The larger sizes keep one seed each to bound runtime.
+TEST(ApproIncremental, PlansMatchLegacyByteForByte) {
+  const std::vector<RoundCase> cases = {
+      {50, {1, 2, 3, 4}}, {200, {1, 2}}, {1200, {9}}};
+  for (const RoundCase& c : cases) {
+    for (std::uint64_t seed : c.seeds) {
+      const model::ChargingProblem problem = random_round(c.n, 2, seed);
+      for (core::InsertionRule rule :
+           {core::InsertionRule::kAfterMaxFinishNeighbor,
+            core::InsertionRule::kCheapestNeighborDetour}) {
+        for (simd::Backend b : supported_backends()) {
+          BackendGuard guard(b);
+          core::ApproOptions legacy;
+          legacy.insertion = rule;
+          legacy.legacy_insertion = true;
+          core::ApproStats legacy_stats;
+          const std::vector<unsigned char> want =
+              serialize(core::ApproScheduler(legacy).plan_with_stats(
+                  problem, &legacy_stats));
+          for (std::size_t jobs : {std::size_t{0}, std::size_t{1},
+                                   std::size_t{4}, std::size_t{8}}) {
+            core::ApproOptions incremental;
+            incremental.insertion = rule;
+            incremental.jobs = jobs;
+            core::ApproStats stats;
+            const std::vector<unsigned char> got =
+                serialize(core::ApproScheduler(incremental).plan_with_stats(
+                    problem, &stats));
+            EXPECT_TRUE(bytes_equal(want, got))
+                << "n=" << c.n << " seed=" << seed << " jobs=" << jobs
+                << " rule=" << static_cast<int>(rule)
+                << " backend=" << static_cast<int>(b);
+            expect_stats_equal(legacy_stats, stats);
+          }
+        }
+      }
+    }
+  }
+}
+
+// plan_with_jobs is a pure thread-count override: every hint must return
+// the bits of plan(), and a hint equal to the configured jobs must not
+// re-instantiate the scheduler path differently either.
+TEST(ApproIncremental, PlanWithJobsIsByteIdenticalToPlan) {
+  const model::ChargingProblem problem = random_round(300, 3, 11);
+  const core::ApproScheduler scheduler;
+  const std::vector<unsigned char> want = serialize(scheduler.plan(problem));
+  for (std::size_t jobs : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                           std::size_t{4}, std::size_t{8}}) {
+    EXPECT_TRUE(bytes_equal(want,
+                            serialize(scheduler.plan_with_jobs(problem, jobs))))
+        << "jobs=" << jobs;
+  }
+  // Via the Scheduler base interface, as the simulator calls it.
+  const sched::Scheduler& base = scheduler;
+  EXPECT_TRUE(bytes_equal(want, serialize(base.plan_with_jobs(problem, 4))));
+}
+
+// A scheduler configured parallel must equal the serial default, and the
+// legacy path must ignore the jobs knob the same way.
+TEST(ApproIncremental, ConfiguredJobsMatchSerialDefault) {
+  for (std::uint64_t seed : {21, 22}) {
+    const model::ChargingProblem problem = random_round(400, 4, seed);
+    const std::vector<unsigned char> want =
+        serialize(core::ApproScheduler().plan(problem));
+    for (std::size_t jobs : {std::size_t{2}, std::size_t{8}}) {
+      core::ApproOptions options;
+      options.jobs = jobs;
+      EXPECT_TRUE(bytes_equal(
+          want, serialize(core::ApproScheduler(options).plan(problem))))
+          << "jobs=" << jobs << " seed=" << seed;
+      options.legacy_insertion = true;
+      EXPECT_TRUE(bytes_equal(
+          want, serialize(core::ApproScheduler(options).plan(problem))))
+          << "legacy jobs=" << jobs << " seed=" << seed;
+    }
+  }
+}
+
+// Tight clusters produce a dense charging graph with large H-degrees and
+// a big pending set relative to V'_H, so the incremental path's
+// tombstone list crosses its half-dead compaction threshold repeatedly
+// (every pick tombstones a slot). The byte-compare proves the compacted
+// alive order matches the erase-based reference order.
+TEST(ApproIncremental, DenseOverlapStressesCompaction) {
+  Rng rng(77);
+  std::vector<geom::Point> pts;
+  std::vector<double> deficits;
+  for (std::size_t i = 0; i < 600; ++i) {
+    // Tight clusters: 20 cluster centers, 30 sensors each.
+    const double cx = 5.0 + 90.0 * static_cast<double>(i % 20) / 19.0;
+    const double cy = rng.uniform(10.0, 90.0);
+    pts.push_back({cx + rng.uniform(-2.0, 2.0), cy + rng.uniform(-2.0, 2.0)});
+    deficits.push_back(3456.0);
+  }
+  const model::ChargingProblem problem(std::move(pts), std::move(deficits),
+                                       {50.0, 50.0}, 2.7, 1.0, 2);
+  core::ApproOptions legacy;
+  legacy.legacy_insertion = true;
+  core::ApproStats legacy_stats, stats;
+  const auto want = serialize(
+      core::ApproScheduler(legacy).plan_with_stats(problem, &legacy_stats));
+  const auto got =
+      serialize(core::ApproScheduler().plan_with_stats(problem, &stats));
+  EXPECT_TRUE(bytes_equal(want, got));
+  expect_stats_equal(legacy_stats, stats);
+  // The scenario indeed forces a non-trivial insertion phase.
+  EXPECT_GT(stats.inserted_case_one + stats.inserted_case_two, 20u);
+}
+
+}  // namespace
+}  // namespace mcharge
