@@ -14,6 +14,7 @@
 #include "figure_common.h"
 #include "geometry/field.h"
 #include "graph/mis.h"
+#include "graph/mst.h"
 #include "graph/unit_disk.h"
 #include "matching/blossom.h"
 #include "matching/matching.h"
@@ -126,6 +127,84 @@ void BM_BlossomMatching(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BlossomMatching)->Arg(50)->Arg(150)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+matching::MatchingOptions engine_options(std::int64_t engine) {
+  matching::MatchingOptions opts;
+  switch (engine) {
+    case 0:
+      opts.engine = matching::MatchingEngine::kDenseBlossom;
+      break;
+    case 1:
+      opts.engine = matching::MatchingEngine::kSparseBlossom;
+      break;
+    default:
+      opts.engine = matching::MatchingEngine::kLocalSearch;
+      break;
+  }
+  return opts;
+}
+
+void BM_Blossom(benchmark::State& state) {
+  // Engine shoot-out on uniform fields: arg0 = n, arg1 = engine
+  // (0 = dense blossom, 1 = sparse price-and-repair, 2 = local search).
+  // Dense is exact but O(n^2) memory / O(n^3) time, so its series stops
+  // at 256; sparse and local search run through n = 4096.
+  Rng rng(19);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto pts = geom::uniform_field(n, 100.0, 100.0, rng);
+  const auto opts = engine_options(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matching::min_weight_euclidean_matching(pts, opts));
+  }
+}
+BENCHMARK(BM_Blossom)
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({64, 2})
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({1024, 1})
+    ->Args({1024, 2})
+    ->Args({4096, 1})
+    ->Args({4096, 2})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ChristofidesMatching(benchmark::State& state) {
+  // The matching step alone, on the REAL odd-degree MST vertex set a
+  // Christofides run produces over arg0 uniform sites (the odd set is
+  // roughly 40% of the sites); arg1 = engine as in BM_Blossom.
+  const auto p = make_tour_problem(static_cast<std::size_t>(state.range(0)), 6);
+  p.ensure_distance_cache();
+  std::vector<geom::Point> vertices = p.sites;
+  vertices.insert(vertices.begin(), p.depot);
+  const auto mst =
+      graph::prim_mst(vertices.size(), [&](std::uint32_t a, std::uint32_t b) {
+        return geom::distance(vertices[a], vertices[b]);
+      });
+  std::vector<std::size_t> degree(vertices.size(), 0);
+  for (const auto& e : mst) {
+    ++degree[e.u];
+    ++degree[e.v];
+  }
+  std::vector<geom::Point> odd;
+  for (std::size_t v = 0; v < vertices.size(); ++v) {
+    if (degree[v] % 2 == 1) odd.push_back(vertices[v]);
+  }
+  const auto opts = engine_options(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matching::min_weight_euclidean_matching(odd, opts));
+  }
+  state.counters["odd"] = static_cast<double>(odd.size());
+}
+BENCHMARK(BM_ChristofidesMatching)
+    ->Args({350, 0})
+    ->Args({350, 1})
+    ->Args({350, 2})
+    ->Args({1200, 0})
+    ->Args({1200, 1})
+    ->Args({1200, 2})
     ->Unit(benchmark::kMillisecond);
 
 void BM_ChristofidesTour(benchmark::State& state) {

@@ -2,356 +2,40 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
+#include <cstdint>
 #include <limits>
 #include <vector>
 
+#include "matching/blossom_core.h"
+#include "matching/quantize.h"
 #include "util/assert.h"
 
 namespace mcharge::matching {
 
+namespace detail {
+
+BlossomArena& thread_arena() {
+  static thread_local BlossomArena arena;
+  return arena;
+}
+
+}  // namespace detail
+
 namespace {
 
-// Primal-dual weighted blossom algorithm (maximum weight matching). All
-// vertex ids are 1-based; ids in (n, n_x] are contracted blossoms. Edge
-// weights are stored doubled so that all dual values stay integral.
-class Blossom {
- public:
-  explicit Blossom(int n)
-      : n_(n),
-        cap_(2 * n + 1),
-        g_(cap_ * cap_),
-        w_(static_cast<std::size_t>(cap_) * cap_, 0),
-        lab_(cap_, 0),
-        match_(cap_, 0),
-        slack_(cap_, 0),
-        st_(cap_, 0),
-        pa_(cap_, 0),
-        s_(cap_, -1),
-        vis_(cap_, 0),
-        from_(cap_, std::vector<int>(n + 1, 0)),
-        flower_(cap_) {
-    for (int u = 1; u <= 2 * n_; ++u) {
-      for (int v = 1; v <= 2 * n_; ++v) {
-        edge(u, v) = Edge{u, v};
-      }
-    }
+Matching extract_matching(std::size_t n, const auto& core) {
+  Matching result;
+  result.reserve(n / 2);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    const int mate = core.partner(static_cast<int>(v) + 1);
+    MCHARGE_ASSERT(mate >= 1, "blossom did not produce a perfect matching");
+    const auto m = static_cast<std::uint32_t>(mate - 1);
+    if (v < m) result.emplace_back(v, m);
   }
-
-  void set_weight(int u, int v, std::int64_t w) {
-    wt(u, v) = 2 * w;
-    wt(v, u) = 2 * w;
-  }
-
-  /// Runs the solver; afterwards partner(v) gives v's mate (1-based).
-  void solve() {
-    n_x_ = n_;
-    std::int64_t w_max = 0;
-    for (int u = 1; u <= n_; ++u) {
-      st_[u] = u;
-      from_[u][u] = u;
-      for (int v = 1; v <= n_; ++v) {
-        w_max = std::max(w_max, wt(u, v));
-      }
-    }
-    for (int u = 1; u <= n_; ++u) lab_[u] = w_max;
-    while (matching_phase()) {
-    }
-  }
-
-  int partner(int v) const { return match_[v]; }
-
- private:
-  // Edge endpoints and weights live in separate arrays: the dual-adjustment
-  // queue scan touches only the weight row for a vertex, and splitting the
-  // 16-byte {u, v, w} record halves its memory traffic. The weight of the
-  // (u, v) slot is always wt(u, v); when add_blossom copies an Edge record
-  // wholesale, the matching w_ slot is copied alongside it.
-  struct Edge {
-    int u = 0, v = 0;
-  };
-
-  Edge& edge(int u, int v) { return g_[u * cap_ + v]; }
-  const Edge& edge(int u, int v) const { return g_[u * cap_ + v]; }
-
-  std::int64_t& wt(int u, int v) {
-    return w_[static_cast<std::size_t>(u) * cap_ + v];
-  }
-  std::int64_t wt(int u, int v) const {
-    return w_[static_cast<std::size_t>(u) * cap_ + v];
-  }
-
-  std::int64_t e_delta(const Edge& e) const {
-    return lab_[e.u] + lab_[e.v] - wt(e.u, e.v);
-  }
-
-  void update_slack(int u, int x) {
-    if (!slack_[x] || e_delta(edge(u, x)) < e_delta(edge(slack_[x], x))) {
-      slack_[x] = u;
-    }
-  }
-
-  void set_slack(int x) {
-    slack_[x] = 0;
-    for (int u = 1; u <= n_; ++u) {
-      if (wt(u, x) > 0 && st_[u] != x && s_[st_[u]] == 0) {
-        update_slack(u, x);
-      }
-    }
-  }
-
-  void q_push(int x) {
-    if (x <= n_) {
-      queue_.push_back(x);
-    } else {
-      for (int y : flower_[x]) q_push(y);
-    }
-  }
-
-  void set_st(int x, int b) {
-    st_[x] = b;
-    if (x > n_) {
-      for (int y : flower_[x]) set_st(y, b);
-    }
-  }
-
-  int get_pr(int b, int xr) {
-    const auto it = std::find(flower_[b].begin(), flower_[b].end(), xr);
-    int pr = static_cast<int>(it - flower_[b].begin());
-    if (pr % 2 == 1) {
-      std::reverse(flower_[b].begin() + 1, flower_[b].end());
-      return static_cast<int>(flower_[b].size()) - pr;
-    }
-    return pr;
-  }
-
-  void set_match(int u, int v) {
-    Edge& e = edge(u, v);
-    match_[u] = e.v;
-    if (u > n_) {
-      const int xr = from_[u][e.u];
-      const int pr = get_pr(u, xr);
-      for (int i = 0; i < pr; ++i) {
-        set_match(flower_[u][i], flower_[u][i ^ 1]);
-      }
-      set_match(xr, v);
-      std::rotate(flower_[u].begin(), flower_[u].begin() + pr,
-                  flower_[u].end());
-    }
-  }
-
-  void augment(int u, int v) {
-    for (;;) {
-      const int xnv = st_[match_[u]];
-      set_match(u, v);
-      if (!xnv) return;
-      set_match(xnv, st_[pa_[xnv]]);
-      u = st_[pa_[xnv]];
-      v = xnv;
-    }
-  }
-
-  int get_lca(int u, int v) {
-    for (++timestamp_; u || v; std::swap(u, v)) {
-      if (u == 0) continue;
-      if (vis_[u] == timestamp_) return u;
-      vis_[u] = timestamp_;
-      u = st_[match_[u]];
-      if (u) u = st_[pa_[u]];
-    }
-    return 0;
-  }
-
-  void add_blossom(int u, int lca, int v) {
-    int b = n_ + 1;
-    while (b <= n_x_ && st_[b]) ++b;
-    if (b > n_x_) ++n_x_;
-    lab_[b] = 0;
-    s_[b] = 0;
-    match_[b] = match_[lca];
-    flower_[b].clear();
-    flower_[b].push_back(lca);
-    for (int x = u, y; x != lca; x = st_[pa_[y]]) {
-      flower_[b].push_back(x);
-      flower_[b].push_back(y = st_[match_[x]]);
-      q_push(y);
-    }
-    std::reverse(flower_[b].begin() + 1, flower_[b].end());
-    for (int x = v, y; x != lca; x = st_[pa_[y]]) {
-      flower_[b].push_back(x);
-      flower_[b].push_back(y = st_[match_[x]]);
-      q_push(y);
-    }
-    set_st(b, b);
-    for (int x = 1; x <= n_x_; ++x) {
-      wt(b, x) = 0;
-      wt(x, b) = 0;
-    }
-    for (int x = 1; x <= n_; ++x) from_[b][x] = 0;
-    for (int xs : flower_[b]) {
-      for (int x = 1; x <= n_x_; ++x) {
-        if (wt(b, x) == 0 || e_delta(edge(xs, x)) < e_delta(edge(b, x))) {
-          edge(b, x) = edge(xs, x);
-          edge(x, b) = edge(x, xs);
-          wt(b, x) = wt(xs, x);
-          wt(x, b) = wt(x, xs);
-        }
-      }
-      for (int x = 1; x <= n_; ++x) {
-        if (from_[xs][x]) from_[b][x] = xs;
-      }
-    }
-    set_slack(b);
-  }
-
-  void expand_blossom(int b) {
-    for (int x : flower_[b]) set_st(x, x);
-    const int xr = from_[b][edge(b, pa_[b]).u];
-    const int pr = get_pr(b, xr);
-    for (int i = 0; i < pr; i += 2) {
-      const int xs = flower_[b][i];
-      const int xns = flower_[b][i + 1];
-      pa_[xs] = edge(xns, xs).u;
-      s_[xs] = 1;
-      s_[xns] = 0;
-      slack_[xs] = 0;
-      set_slack(xns);
-      q_push(xns);
-    }
-    s_[xr] = 1;
-    pa_[xr] = pa_[b];
-    for (int i = pr + 1; i < static_cast<int>(flower_[b].size()); ++i) {
-      const int xs = flower_[b][i];
-      s_[xs] = -1;
-      set_slack(xs);
-    }
-    st_[b] = 0;
-  }
-
-  bool on_found_edge(const Edge& e) {
-    const int u = st_[e.u];
-    const int v = st_[e.v];
-    if (s_[v] == -1) {
-      pa_[v] = e.u;
-      s_[v] = 1;
-      const int nu = st_[match_[v]];
-      slack_[v] = 0;
-      slack_[nu] = 0;
-      s_[nu] = 0;
-      q_push(nu);
-    } else if (s_[v] == 0) {
-      const int lca = get_lca(u, v);
-      if (!lca) {
-        augment(u, v);
-        augment(v, u);
-        return true;
-      }
-      add_blossom(u, lca, v);
-    }
-    return false;
-  }
-
-  bool matching_phase() {
-    std::fill(s_.begin(), s_.begin() + n_x_ + 1, -1);
-    std::fill(slack_.begin(), slack_.begin() + n_x_ + 1, 0);
-    queue_.clear();
-    bool any_free = false;
-    for (int x = 1; x <= n_x_; ++x) {
-      if (st_[x] == x && !match_[x]) {
-        pa_[x] = 0;
-        s_[x] = 0;
-        q_push(x);
-        any_free = true;
-      }
-    }
-    if (!any_free) return false;
-
-    // Safety: a correct run needs O(n^2) dual adjustments per phase; a
-    // runaway loop means a bug, so fail loudly instead of hanging.
-    const int max_adjustments = 64 * (n_ + 2) * (n_ + 2);
-    for (int guard = 0; guard <= max_adjustments; ++guard) {
-      MCHARGE_ASSERT(guard < max_adjustments,
-                     "blossom: dual adjustment loop did not terminate");
-      while (!queue_.empty()) {
-        const int u = queue_.front();
-        queue_.pop_front();
-        if (s_[st_[u]] == 1) continue;
-        // u is a base vertex (q_push expands blossoms), so edge(u, v) for
-        // v <= n_ is never overwritten and e_delta reduces to the direct
-        // label/weight expression on the row of w_.
-        const std::int64_t* wrow = &w_[static_cast<std::size_t>(u) * cap_];
-        const std::int64_t lab_u = lab_[u];
-        for (int v = 1; v <= n_; ++v) {
-          if (wrow[v] > 0 && st_[u] != st_[v]) {
-            if (lab_u + lab_[v] - wrow[v] == 0) {
-              if (on_found_edge(edge(u, v))) return true;
-            } else {
-              update_slack(u, st_[v]);
-            }
-          }
-        }
-      }
-
-      std::int64_t d = std::numeric_limits<std::int64_t>::max();
-      for (int b = n_ + 1; b <= n_x_; ++b) {
-        if (st_[b] == b && s_[b] == 1) d = std::min(d, lab_[b] / 2);
-      }
-      for (int x = 1; x <= n_x_; ++x) {
-        if (st_[x] == x && slack_[x]) {
-          if (s_[x] == -1) {
-            d = std::min(d, e_delta(edge(slack_[x], x)));
-          } else if (s_[x] == 0) {
-            d = std::min(d, e_delta(edge(slack_[x], x)) / 2);
-          }
-        }
-      }
-      MCHARGE_ASSERT(d != std::numeric_limits<std::int64_t>::max(),
-                     "blossom: no dual adjustment available");
-
-      for (int u = 1; u <= n_; ++u) {
-        if (s_[st_[u]] == 0) {
-          if (lab_[u] <= d) return false;  // dual exhausted: no augmenting
-          lab_[u] -= d;
-        } else if (s_[st_[u]] == 1) {
-          lab_[u] += d;
-        }
-      }
-      for (int b = n_ + 1; b <= n_x_; ++b) {
-        if (st_[b] == b) {
-          if (s_[b] == 0) {
-            lab_[b] += 2 * d;
-          } else if (s_[b] == 1) {
-            lab_[b] -= 2 * d;
-          }
-        }
-      }
-
-      queue_.clear();
-      for (int x = 1; x <= n_x_; ++x) {
-        if (st_[x] == x && slack_[x] && st_[slack_[x]] != x &&
-            e_delta(edge(slack_[x], x)) == 0) {
-          if (on_found_edge(edge(slack_[x], x))) return true;
-        }
-      }
-      for (int b = n_ + 1; b <= n_x_; ++b) {
-        if (st_[b] == b && s_[b] == 1 && lab_[b] == 0) expand_blossom(b);
-      }
-    }
-    return false;  // unreachable: the guard asserts first
-  }
-
-  int n_;
-  int n_x_ = 0;
-  int cap_;
-  std::vector<Edge> g_;
-  std::vector<std::int64_t> w_;
-  std::vector<std::int64_t> lab_;
-  std::vector<int> match_, slack_, st_, pa_, s_, vis_;
-  std::vector<std::vector<int>> from_;
-  std::vector<std::vector<int>> flower_;
-  std::deque<int> queue_;
-  int timestamp_ = 0;
-};
+  MCHARGE_ASSERT(is_perfect_matching(n, result),
+                 "blossom produced a non-perfect matching");
+  return result;
+}
 
 }  // namespace
 
@@ -363,6 +47,8 @@ Matching blossom_min_weight_matching(std::size_t n, const WeightFn& weight) {
   // Quantize the costs onto [1, kBlossomResolution + 1] and negate into
   // "profits" so that maximizing profit minimizes cost; all profits are
   // kept strictly positive so the maximum-weight matching is perfect.
+  // The WeightFn is evaluated exactly once per pair, into the dense
+  // store: the O(n^3) core itself never touches a std::function.
   double lo = std::numeric_limits<double>::infinity();
   double hi = -std::numeric_limits<double>::infinity();
   for (std::uint32_t u = 0; u < n; ++u) {
@@ -375,29 +61,42 @@ Matching blossom_min_weight_matching(std::size_t n, const WeightFn& weight) {
   const double span = hi > lo ? hi - lo : 1.0;
   const double scale = static_cast<double>(kBlossomResolution) / span;
 
-  Blossom solver(static_cast<int>(n));
+  detail::BlossomArena& arena = detail::thread_arena();
+  detail::DenseStore store(static_cast<int>(n), arena);
   for (std::uint32_t u = 0; u < n; ++u) {
     for (std::uint32_t v = u + 1; v < n; ++v) {
       const auto cost =
           static_cast<std::int64_t>(std::llround((weight(u, v) - lo) * scale));
       const std::int64_t profit = kBlossomResolution + 1 - cost;
-      solver.set_weight(static_cast<int>(u) + 1, static_cast<int>(v) + 1,
-                        profit);
+      store.set2(static_cast<int>(u) + 1, static_cast<int>(v) + 1, 2 * profit);
     }
   }
-  solver.solve();
+  detail::BlossomCore<detail::DenseStore> core(static_cast<int>(n), store,
+                                              arena);
+  core.solve();
+  return extract_matching(n, core);
+}
 
-  Matching result;
-  result.reserve(n / 2);
-  for (std::uint32_t v = 0; v < n; ++v) {
-    const int mate = solver.partner(static_cast<int>(v) + 1);
-    MCHARGE_ASSERT(mate >= 1, "blossom did not produce a perfect matching");
-    const auto m = static_cast<std::uint32_t>(mate - 1);
-    if (v < m) result.emplace_back(v, m);
+Matching dense_blossom_euclidean_matching(const std::vector<geom::Point>& pts) {
+  const std::size_t n = pts.size();
+  MCHARGE_ASSERT(n % 2 == 0, "perfect matching requires even n");
+  if (n == 0) return {};
+  if (n == 2) return {{0, 1}};
+
+  const detail::BlossomQuantizer qz = detail::make_point_quantizer(pts);
+  detail::BlossomArena& arena = detail::thread_arena();
+  detail::DenseStore store(static_cast<int>(n), arena);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = u + 1; v < n; ++v) {
+      const std::int64_t profit =
+          qz.profit(geom::distance(pts[u], pts[v]), u, v);
+      store.set2(static_cast<int>(u) + 1, static_cast<int>(v) + 1, 2 * profit);
+    }
   }
-  MCHARGE_ASSERT(is_perfect_matching(n, result),
-                 "blossom produced a non-perfect matching");
-  return result;
+  detail::BlossomCore<detail::DenseStore> core(static_cast<int>(n), store,
+                                              arena);
+  core.solve();
+  return extract_matching(n, core);
 }
 
 }  // namespace mcharge::matching

@@ -1,0 +1,584 @@
+// Templated primal-dual weighted blossom core shared by the dense and
+// sparse matching engines.
+//
+// This is the O(n^3) Galil primal-dual scheme of the original dense
+// solver, lifted out of its (2n+1)^2 adjacency matrix:
+//
+//  * The edge Store is a template parameter providing REAL-REAL weights
+//    only (DenseStore: an (n+1)^2 doubled-weight matrix; SparseStore: CSR
+//    candidate rows). A weight of 0 means "no edge" — exactly how the
+//    dense solver already treated missing edges, which is what makes the
+//    core sparse-capable without algorithmic changes.
+//
+//  * All per-blossom bookkeeping (the best member edge toward every other
+//    node, the from / flower structures) is owned by the core and
+//    allocated lazily per active blossom id out of a reusable
+//    BlossomArena, replacing the per-call (2n+1)^2 Edge + weight matrix
+//    allocations. Symmetric cells of the old matrix were always exact
+//    mirrors, so only the blossom-side row is stored and the opposite
+//    orientation is derived by swapping record endpoints.
+//
+//  * The dual-adjustment inner loops run through the simd::i64_* kernels
+//    over flat arrays: su_[u] mirrors s_[st_[u]] for real u (maintained
+//    alongside every relabel), and slack_val_[x] caches the reduced cost
+//    of base x's recorded slack edge. The cache stays exact because
+//    within a phase slack sources remain outer (their labels all move by
+//    -d), and every state change of a target base coincides with a slack
+//    reset or recompute; a batched shift (-d free / -2d outer / 0 inner)
+//    after each dual adjustment keeps it current. This turns both the
+//    min-slack reduction and the label update into branch-free scans with
+//    bitwise-identical scalar semantics (util/simd.h).
+//
+// All vertex ids are 1-based; ids in (n, 2n] are contracted blossoms.
+// Edge weights are doubled so every dual value stays integral.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "util/assert.h"
+#include "util/simd.h"
+
+namespace mcharge::matching::detail {
+
+struct BlossomEdge {
+  int u = 0, v = 0;
+};
+
+/// Reusable scratch for blossom solves; obtain via thread_arena(). Rows
+/// keep their capacity across solves, so steady-state solves allocate
+/// nothing.
+struct BlossomArena {
+  std::vector<std::int64_t> lab, slack_val;
+  std::vector<std::int32_t> match, slack, st, pa, s, vis, su;
+  // Per-blossom-slot rows (slot = id - n - 1), allocated on first use.
+  std::vector<std::vector<BlossomEdge>> brow_e;
+  std::vector<std::vector<std::int64_t>> brow_w;
+  std::vector<std::vector<std::int32_t>> from;
+  std::vector<std::vector<std::int32_t>> flower;
+  std::deque<std::int32_t> queue;
+  std::vector<std::int64_t> dense_w;  ///< DenseStore backing matrix
+};
+
+/// The per-thread arena (matching solves never nest or cross threads).
+BlossomArena& thread_arena();
+
+/// Complete-graph store: (n+1)^2 doubled-weight matrix in the arena.
+class DenseStore {
+ public:
+  DenseStore(int n, BlossomArena& arena) : n_(n), w_(arena.dense_w) {
+    w_.assign(static_cast<std::size_t>(n + 1) * (n + 1), 0);
+  }
+
+  /// Doubled weight for the 1-based pair (u, v); call before solving.
+  void set2(int u, int v, std::int64_t w2) {
+    w_[idx(u, v)] = w2;
+    w_[idx(v, u)] = w2;
+  }
+
+  std::int64_t weight(int u, int v) const { return w_[idx(u, v)]; }
+
+  std::int64_t max_weight() const {
+    std::int64_t best = 0;
+    for (const std::int64_t w : w_) best = std::max(best, w);
+    return best;
+  }
+
+  /// Calls f(v, w2) for v in ascending order with weight(u, v) > 0; stops
+  /// early (returning false) when f does.
+  template <class F>
+  bool for_neighbors(int u, F&& f) const {
+    const std::int64_t* row = w_.data() + idx(u, 0);
+    for (int v = 1; v <= n_; ++v) {
+      if (row[v] > 0 && !f(v, row[v])) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::size_t idx(int u, int v) const {
+    return static_cast<std::size_t>(u) * (n_ + 1) + v;
+  }
+
+  int n_;
+  std::vector<std::int64_t>& w_;
+};
+
+/// Candidate-graph store: CSR adjacency with doubled weights, rows sorted
+/// by neighbor id (so tie-breaking scans visit sources in the same
+/// ascending order as the dense row scan).
+class SparseStore {
+ public:
+  /// Each undirected edge ((u, v) 1-based, u != v) appears once in
+  /// `edges` with its doubled weight in `w2`.
+  SparseStore(int n, const std::vector<std::pair<int, int>>& edges,
+              const std::vector<std::int64_t>& w2)
+      : n_(n) {
+    std::vector<std::tuple<std::int32_t, std::int32_t, std::int64_t>> dir;
+    dir.reserve(edges.size() * 2);
+    for (std::size_t k = 0; k < edges.size(); ++k) {
+      dir.emplace_back(edges[k].first, edges[k].second, w2[k]);
+      dir.emplace_back(edges[k].second, edges[k].first, w2[k]);
+    }
+    std::sort(dir.begin(), dir.end());
+    head_.assign(n + 2, 0);
+    nbr_.resize(dir.size());
+    w_.resize(dir.size());
+    for (std::size_t k = 0; k < dir.size(); ++k) {
+      ++head_[std::get<0>(dir[k]) + 1];
+      nbr_[k] = std::get<1>(dir[k]);
+      w_[k] = std::get<2>(dir[k]);
+    }
+    for (int u = 1; u <= n + 1; ++u) head_[u] += head_[u - 1];
+  }
+
+  std::int64_t weight(int u, int v) const {
+    const auto* begin = nbr_.data() + head_[u];
+    const auto* end = nbr_.data() + head_[u + 1];
+    const auto* it = std::lower_bound(begin, end, v);
+    if (it == end || *it != v) return 0;
+    return w_[it - nbr_.data()];
+  }
+
+  std::int64_t max_weight() const {
+    std::int64_t best = 0;
+    for (const std::int64_t w : w_) best = std::max(best, w);
+    return best;
+  }
+
+  template <class F>
+  bool for_neighbors(int u, F&& f) const {
+    for (std::int32_t k = head_[u]; k < head_[u + 1]; ++k) {
+      if (!f(static_cast<int>(nbr_[k]), w_[k])) return false;
+    }
+    return true;
+  }
+
+ private:
+  int n_;
+  std::vector<std::int32_t> head_, nbr_;
+  std::vector<std::int64_t> w_;
+};
+
+template <class Store>
+class BlossomCore {
+ public:
+  BlossomCore(int n, const Store& store, BlossomArena& arena)
+      : n_(n), cap_(2 * n + 1), store_(store), a_(arena) {
+    a_.lab.assign(cap_, 0);
+    a_.slack_val.assign(cap_, 0);
+    a_.match.assign(cap_, 0);
+    a_.slack.assign(cap_, 0);
+    a_.st.assign(cap_, 0);
+    a_.pa.assign(cap_, 0);
+    a_.s.assign(cap_, -1);
+    a_.vis.assign(cap_, 0);
+    a_.su.assign(n + 1, -1);
+    if (static_cast<int>(a_.brow_e.size()) < n_) {
+      a_.brow_e.resize(n_);
+      a_.brow_w.resize(n_);
+      a_.from.resize(n_);
+      a_.flower.resize(n_);
+    }
+    a_.queue.clear();
+    lab_ = a_.lab.data();
+    slack_val_ = a_.slack_val.data();
+    match_ = a_.match.data();
+    slack_ = a_.slack.data();
+    st_ = a_.st.data();
+    pa_ = a_.pa.data();
+    s_ = a_.s.data();
+    vis_ = a_.vis.data();
+    su_ = a_.su.data();
+  }
+
+  /// Runs the solver; afterwards partner(v) gives v's mate (1-based, 0 if
+  /// unmatched) and dual2(v) the final doubled dual label.
+  void solve() {
+    n_x_ = n_;
+    for (int u = 1; u <= n_; ++u) st_[u] = u;
+    const std::int64_t w_max = store_.max_weight();
+    for (int u = 1; u <= n_; ++u) lab_[u] = w_max;
+    while (matching_phase()) {
+    }
+  }
+
+  int partner(int v) const { return match_[v]; }
+  std::int64_t dual2(int v) const { return lab_[v]; }
+
+ private:
+  static constexpr std::int64_t kI64Max =
+      std::numeric_limits<std::int64_t>::max();
+
+  static BlossomEdge flip(BlossomEdge e) { return {e.v, e.u}; }
+  int slot(int b) const { return b - n_ - 1; }
+  std::vector<std::int32_t>& flower(int b) { return a_.flower[slot(b)]; }
+
+  void ensure_brow(int b) {
+    const int sl = slot(b);
+    if (static_cast<int>(a_.brow_e[sl].size()) < cap_) {
+      a_.brow_e[sl].assign(cap_, {});
+      a_.brow_w[sl].assign(cap_, 0);
+    }
+    if (static_cast<int>(a_.from[sl].size()) < n_ + 1) {
+      a_.from[sl].assign(n_ + 1, 0);
+    }
+  }
+
+  /// Edge record of the (u, v) slot: synthesized for real-real pairs,
+  /// blossom rows otherwise (the v-side orientation is the flipped
+  /// u-side record; the old dense matrix kept both as exact mirrors).
+  BlossomEdge rec(int u, int v) const {
+    if (u > n_) return a_.brow_e[slot(u)][v];
+    if (v > n_) return flip(a_.brow_e[slot(v)][u]);
+    return {u, v};
+  }
+
+  std::int64_t weight(int u, int v) const {
+    if (u > n_) return a_.brow_w[slot(u)][v];
+    if (v > n_) return a_.brow_w[slot(v)][u];
+    return store_.weight(u, v);
+  }
+
+  /// Reduced cost of a stored record (w is the record's weight slot — by
+  /// invariant exactly wt(e.u, e.v)).
+  std::int64_t e_delta2(BlossomEdge e, std::int64_t w) const {
+    return lab_[e.u] + lab_[e.v] - w;
+  }
+  std::int64_t e_delta(int u, int v) const {
+    return e_delta2(rec(u, v), weight(u, v));
+  }
+
+  /// cand must be the current reduced cost of the (u, x) slot; the cached
+  /// slack_val_ of the incumbent is current by the shift invariant.
+  void update_slack(int u, int x, std::int64_t cand) {
+    if (slack_[x] == 0 || cand < slack_val_[x]) {
+      slack_[x] = u;
+      slack_val_[x] = cand;
+    }
+  }
+
+  void set_slack(int x) {
+    slack_[x] = 0;
+    if (x <= n_) {
+      const std::int64_t lab_x = lab_[x];
+      store_.for_neighbors(x, [&](int u, std::int64_t w) {
+        if (st_[u] != x && su_[u] == 0) {
+          update_slack(u, x, lab_[u] + lab_x - w);
+        }
+        return true;
+      });
+    } else {
+      const auto& re = a_.brow_e[slot(x)];
+      const auto& rw = a_.brow_w[slot(x)];
+      for (int u = 1; u <= n_; ++u) {
+        if (rw[u] > 0 && st_[u] != x && su_[u] == 0) {
+          update_slack(u, x, e_delta2(re[u], rw[u]));
+        }
+      }
+    }
+  }
+
+  void q_push(int x) {
+    if (x <= n_) {
+      a_.queue.push_back(x);
+      return;
+    }
+    for (const int y : flower(x)) q_push(y);
+  }
+
+  void set_st(int x, int b) {
+    st_[x] = b;
+    if (x > n_) {
+      for (const int y : flower(x)) set_st(y, b);
+    }
+  }
+
+  /// Mirrors s_[st_[u]] into su_[u] for every real leaf of x.
+  void mark_state(int x, std::int32_t sv) {
+    if (x <= n_) {
+      su_[x] = sv;
+      return;
+    }
+    for (const int y : flower(x)) mark_state(y, sv);
+  }
+
+  int from_at(int x, int r) const {
+    if (x <= n_) return x == r ? x : 0;
+    return a_.from[slot(x)][r];
+  }
+
+  int get_pr(int b, int xr) {
+    auto& fl = flower(b);
+    const auto it = std::find(fl.begin(), fl.end(), xr);
+    int pr = static_cast<int>(it - fl.begin());
+    if (pr % 2 == 1) {
+      std::reverse(fl.begin() + 1, fl.end());
+      return static_cast<int>(fl.size()) - pr;
+    }
+    return pr;
+  }
+
+  void set_match(int u, int v) {
+    const BlossomEdge e = rec(u, v);
+    match_[u] = e.v;
+    if (u <= n_) return;
+    const int xr = from_at(u, e.u);
+    const int pr = get_pr(u, xr);
+    auto& fl = flower(u);
+    for (int i = 0; i < pr; ++i) {
+      set_match(fl[i], fl[i ^ 1]);
+    }
+    set_match(xr, v);
+    std::rotate(fl.begin(), fl.begin() + pr, fl.end());
+  }
+
+  void augment(int u, int v) {
+    for (;;) {
+      const int xnv = st_[match_[u]];
+      set_match(u, v);
+      if (!xnv) return;
+      set_match(xnv, st_[pa_[xnv]]);
+      u = st_[pa_[xnv]];
+      v = xnv;
+    }
+  }
+
+  int get_lca(int u, int v) {
+    for (++timestamp_; u || v; std::swap(u, v)) {
+      if (u == 0) continue;
+      if (vis_[u] == timestamp_) return u;
+      vis_[u] = timestamp_;
+      u = st_[match_[u]];
+      if (u) u = st_[pa_[u]];
+    }
+    return 0;
+  }
+
+  void add_blossom(int u, int lca, int v) {
+    int b = n_ + 1;
+    while (b <= n_x_ && st_[b]) ++b;
+    if (b > n_x_) ++n_x_;
+    ensure_brow(b);
+    lab_[b] = 0;
+    s_[b] = 0;
+    match_[b] = match_[lca];
+    auto& fl = flower(b);
+    fl.clear();
+    fl.push_back(lca);
+    for (int x = u, y; x != lca; x = st_[pa_[y]]) {
+      fl.push_back(x);
+      fl.push_back(y = st_[match_[x]]);
+      q_push(y);
+    }
+    std::reverse(fl.begin() + 1, fl.end());
+    for (int x = v, y; x != lca; x = st_[pa_[y]]) {
+      fl.push_back(x);
+      fl.push_back(y = st_[match_[x]]);
+      q_push(y);
+    }
+    set_st(b, b);
+    mark_state(b, 0);
+    auto& be = a_.brow_e[slot(b)];
+    auto& bw = a_.brow_w[slot(b)];
+    for (int x = 1; x <= n_x_; ++x) {
+      bw[x] = 0;
+      if (x > n_ && x != b && !a_.brow_w[slot(x)].empty()) {
+        a_.brow_w[slot(x)][b] = 0;
+      }
+    }
+    auto& fr = a_.from[slot(b)];
+    std::fill(fr.begin(), fr.begin() + n_ + 1, 0);
+    for (const int xs : fl) {
+      for (int x = 1; x <= n_x_; ++x) {
+        const BlossomEdge e = rec(xs, x);
+        const std::int64_t w = weight(xs, x);
+        if (bw[x] == 0 || e_delta2(e, w) < e_delta2(be[x], bw[x])) {
+          be[x] = e;
+          bw[x] = w;
+          if (x > n_ && x != b) {
+            a_.brow_e[slot(x)][b] = flip(e);
+            a_.brow_w[slot(x)][b] = w;
+          }
+        }
+      }
+      if (xs <= n_) {
+        fr[xs] = xs;
+      } else {
+        const auto& xfr = a_.from[slot(xs)];
+        for (int x = 1; x <= n_; ++x) {
+          if (xfr[x]) fr[x] = xs;
+        }
+      }
+    }
+    set_slack(b);
+  }
+
+  void expand_blossom(int b) {
+    auto& fl = flower(b);
+    for (const int x : fl) set_st(x, x);
+    const int xr = from_at(b, rec(b, pa_[b]).u);
+    const int pr = get_pr(b, xr);
+    for (int i = 0; i < pr; i += 2) {
+      const int xs = fl[i];
+      const int xns = fl[i + 1];
+      pa_[xs] = rec(xns, xs).u;
+      s_[xs] = 1;
+      mark_state(xs, 1);
+      s_[xns] = 0;
+      mark_state(xns, 0);
+      slack_[xs] = 0;
+      set_slack(xns);
+      q_push(xns);
+    }
+    s_[xr] = 1;
+    mark_state(xr, 1);
+    pa_[xr] = pa_[b];
+    for (int i = pr + 1; i < static_cast<int>(fl.size()); ++i) {
+      const int xs = fl[i];
+      s_[xs] = -1;
+      mark_state(xs, -1);
+      set_slack(xs);
+    }
+    st_[b] = 0;
+  }
+
+  bool on_found_edge(const BlossomEdge& e) {
+    const int u = st_[e.u];
+    const int v = st_[e.v];
+    if (s_[v] == -1) {
+      pa_[v] = e.u;
+      s_[v] = 1;
+      mark_state(v, 1);
+      const int nu = st_[match_[v]];
+      slack_[v] = 0;
+      slack_[nu] = 0;
+      s_[nu] = 0;
+      mark_state(nu, 0);
+      q_push(nu);
+    } else if (s_[v] == 0) {
+      const int lca = get_lca(u, v);
+      if (!lca) {
+        augment(u, v);
+        augment(v, u);
+        return true;
+      }
+      add_blossom(u, lca, v);
+    }
+    return false;
+  }
+
+  bool matching_phase() {
+    std::fill(s_, s_ + n_x_ + 1, -1);
+    std::fill(slack_, slack_ + n_x_ + 1, 0);
+    std::fill(su_ + 1, su_ + n_ + 1, -1);
+    a_.queue.clear();
+    bool any_free = false;
+    for (int x = 1; x <= n_x_; ++x) {
+      if (st_[x] == x && !match_[x]) {
+        pa_[x] = 0;
+        s_[x] = 0;
+        mark_state(x, 0);
+        q_push(x);
+        any_free = true;
+      }
+    }
+    if (!any_free) return false;
+
+    // Safety: a correct run needs O(n^2) dual adjustments per phase; a
+    // runaway loop means a bug, so fail loudly instead of hanging.
+    const int max_adjustments = 64 * (n_ + 2) * (n_ + 2);
+    for (int guard = 0; guard <= max_adjustments; ++guard) {
+      MCHARGE_ASSERT(guard < max_adjustments,
+                     "blossom: dual adjustment loop did not terminate");
+      while (!a_.queue.empty()) {
+        const int u = a_.queue.front();
+        a_.queue.pop_front();
+        if (s_[st_[u]] == 1) continue;
+        // u is a base vertex (q_push expands blossoms), so the (u, v)
+        // slot for real v is never overwritten and its reduced cost is
+        // the direct label/weight expression on the store row.
+        const std::int64_t lab_u = lab_[u];
+        bool augmented = false;
+        store_.for_neighbors(u, [&](int v, std::int64_t w) {
+          const int x = st_[v];
+          if (st_[u] == x) return true;
+          const std::int64_t delta = lab_u + lab_[v] - w;
+          if (delta == 0) {
+            if (on_found_edge(BlossomEdge{u, v})) {
+              augmented = true;
+              return false;
+            }
+          } else if (x == v) {
+            update_slack(u, x, delta);
+          } else {
+            // v is inside blossom x: the candidate is the stored best
+            // (u, x) member edge, not the scanned pair.
+            update_slack(u, x, e_delta(u, x));
+          }
+          return true;
+        });
+        if (augmented) return true;
+      }
+
+      std::int64_t d = kI64Max;
+      for (int b = n_ + 1; b <= n_x_; ++b) {
+        if (st_[b] == b && s_[b] == 1) d = std::min(d, lab_[b] / 2);
+      }
+      d = std::min(d, simd::i64_slack_bound(slack_val_, slack_, st_, s_, 1,
+                                            n_x_ + 1));
+      MCHARGE_ASSERT(d != kI64Max, "blossom: no dual adjustment available");
+
+      // Dual exhausted -> no augmenting path. Checked BEFORE applying so
+      // the duals stay a consistent feasible solution (the pricing pass
+      // reads them after the solver stops).
+      if (simd::i64_min_where(lab_, su_, 0, 1, n_ + 1) <= d) return false;
+      simd::i64_dual_apply(lab_, su_, 1, n_ + 1, d);
+      for (int b = n_ + 1; b <= n_x_; ++b) {
+        if (st_[b] == b) {
+          if (s_[b] == 0) {
+            lab_[b] += 2 * d;
+          } else if (s_[b] == 1) {
+            lab_[b] -= 2 * d;
+          }
+        }
+      }
+      simd::i64_slack_shift(slack_val_, slack_, st_, s_, 1, n_x_ + 1, d);
+
+      a_.queue.clear();
+      for (int x = 1; x <= n_x_; ++x) {
+        if (st_[x] == x && slack_[x] && st_[slack_[x]] != x &&
+            slack_val_[x] == 0) {
+          if (on_found_edge(rec(slack_[x], x))) return true;
+        }
+      }
+      for (int b = n_ + 1; b <= n_x_; ++b) {
+        if (st_[b] == b && s_[b] == 1 && lab_[b] == 0) expand_blossom(b);
+      }
+    }
+    return false;  // unreachable: the guard asserts first
+  }
+
+  int n_;
+  int n_x_ = 0;
+  int cap_;
+  const Store& store_;
+  BlossomArena& a_;
+  std::int64_t* lab_ = nullptr;
+  std::int64_t* slack_val_ = nullptr;
+  std::int32_t* match_ = nullptr;
+  std::int32_t* slack_ = nullptr;
+  std::int32_t* st_ = nullptr;
+  std::int32_t* pa_ = nullptr;
+  std::int32_t* s_ = nullptr;
+  std::int32_t* vis_ = nullptr;
+  std::int32_t* su_ = nullptr;
+  int timestamp_ = 0;
+};
+
+}  // namespace mcharge::matching::detail

@@ -20,7 +20,8 @@ int lowest_set_bit(std::uint32_t mask) {
 
 Matching exact_min_weight_matching(std::size_t n, const WeightFn& weight) {
   MCHARGE_ASSERT(n % 2 == 0, "perfect matching requires even n");
-  MCHARGE_ASSERT(n <= 20, "exact matching limited to n <= 20");
+  MCHARGE_ASSERT(n <= kExactLimit,
+                 "exact matching limited to n <= kExactLimit");
   if (n == 0) return {};
 
   const std::uint32_t full = (1u << n) - 1u;
@@ -136,8 +137,32 @@ Matching local_search_matching(std::size_t n, const WeightFn& weight) {
 
 Matching min_weight_perfect_matching(std::size_t n, const WeightFn& weight) {
   if (n <= kExactLimit) return exact_min_weight_matching(n, weight);
-  if (n <= kBlossomLimit) return blossom_min_weight_matching(n, weight);
+  if (n <= kDenseBlossomLimit) return blossom_min_weight_matching(n, weight);
   return local_search_matching(n, weight);
+}
+
+Matching min_weight_euclidean_matching(const std::vector<geom::Point>& pts,
+                                       const MatchingOptions& opts) {
+  const std::size_t n = pts.size();
+  const auto euclid = [&pts](std::uint32_t a, std::uint32_t b) {
+    return geom::distance(pts[a], pts[b]);
+  };
+  switch (opts.engine) {
+    case MatchingEngine::kExactDp:
+      return exact_min_weight_matching(n, euclid);
+    case MatchingEngine::kDenseBlossom:
+      return dense_blossom_euclidean_matching(pts);
+    case MatchingEngine::kSparseBlossom:
+      return sparse_blossom_euclidean_matching(pts, opts.knn);
+    case MatchingEngine::kLocalSearch:
+      return local_search_matching(n, euclid);
+    case MatchingEngine::kAuto:
+      break;
+  }
+  if (n <= kExactLimit) return exact_min_weight_matching(n, euclid);
+  if (n < kSparseCrossover) return dense_blossom_euclidean_matching(pts);
+  if (n <= kBlossomLimit) return sparse_blossom_euclidean_matching(pts, opts.knn);
+  return local_search_matching(n, euclid);
 }
 
 double matching_weight(const Matching& m, const WeightFn& weight) {

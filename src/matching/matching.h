@@ -1,22 +1,37 @@
 // Minimum-weight perfect matching on complete graphs with an even number of
 // vertices (the matching step of Christofides' TSP construction).
 //
-// Three engines:
+// Engines:
 //  * exact DP: bitmask dynamic program, O(2^n * n); used for
 //    n <= kExactLimit and as the reference oracle in tests.
-//  * blossom (matching/blossom.h): exact O(n^3) primal-dual solver; the
-//    default above kExactLimit, giving Christofides its real 1.5-approx
-//    guarantee.
+//  * dense blossom (matching/blossom.h): exact O(n^3) primal-dual solver
+//    on a materialized (n+1)^2 weight matrix.
+//  * sparse blossom (matching/blossom.h): exact price-and-repair solver
+//    on a k-NN candidate graph, certified optimal against the complete
+//    graph by a SIMD pricing pass over the final duals. The default
+//    geometric engine — same answers as dense, small fraction of the
+//    cost at large n.
 //  * local search: greedy nearest-pair construction followed by repeated
-//    2-exchange improvement to a local optimum; kept as a fast fallback
-//    and as a comparison point in the micro benches (within ~2% of optimal
-//    on Euclidean inputs).
+//    2-exchange improvement to a local optimum; the fallback beyond
+//    kBlossomLimit and a comparison point in the micro benches (within
+//    ~2% of optimal on Euclidean inputs).
+//
+// Geometric callers (Christofides odd-vertex matching) should use
+// min_weight_euclidean_matching, which keeps Christofides' real
+// 1.5-approx guarantee intact up to kBlossomLimit = 4096 vertices — the
+// sparse engine covers every paper-scale instance exactly; only beyond
+// that does the heuristic local search take over. The generic WeightFn
+// dispatch (min_weight_perfect_matching) cannot use the sparse engine
+// (no geometry to prune with) and caps the dense engine at
+// kDenseBlossomLimit to bound its O(n^2) weight matrix.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <utility>
 #include <vector>
+
+#include "geometry/point.h"
 
 namespace mcharge::matching {
 
@@ -25,25 +40,68 @@ using WeightFn = std::function<double(std::uint32_t, std::uint32_t)>;
 /// Pairs in a perfect matching; each vertex appears exactly once.
 using Matching = std::vector<std::pair<std::uint32_t, std::uint32_t>>;
 
-/// Largest n routed to the exact bitmask DP.
+/// Largest n routed to the exact bitmask DP (and the DP's own hard
+/// assert: 2^n states are materialized).
 inline constexpr std::size_t kExactLimit = 16;
 
-/// Largest n routed to the exact O(n^3) blossom solver; above this the
-/// 2-exchange local search takes over (the n^3 constant starts to matter
-/// inside simulation inner loops, and at those sizes the matching feeds a
-/// tour that is 2-opted anyway).
-inline constexpr std::size_t kBlossomLimit = 256;
+/// Largest n routed to an exact blossom engine on geometric instances;
+/// above this the 2-exchange local search takes over. 4096 covers every
+/// odd-vertex set the paper-scale Christofides runs produce, so the
+/// 1.5-approximation guarantee holds throughout the evaluated range.
+inline constexpr std::size_t kBlossomLimit = 4096;
+
+/// Largest n routed to the DENSE blossom engine from the generic
+/// (non-geometric) dispatch: the dense engine materializes an (n+1)^2
+/// int64 weight matrix, so it is kept to instances where that footprint
+/// is trivial. Geometric callers are not affected (the sparse engine
+/// handles them up to kBlossomLimit).
+inline constexpr std::size_t kDenseBlossomLimit = 256;
+
+/// Below this size kAuto prefers the dense engine over the sparse one:
+/// the sparse engine's candidate-build + multi-round pricing overhead
+/// only amortizes once the (n+1)^2 dense solve is expensive enough
+/// (measured crossover ~128-256 on uniform fields; see EXPERIMENTS.md).
+/// Both engines return the identical matching, so this is purely a
+/// latency knob.
+inline constexpr std::size_t kSparseCrossover = 128;
+
+/// Which matching engine to run on geometric instances.
+enum class MatchingEngine : std::uint8_t {
+  kAuto = 0,       ///< size-based: DP, sparse blossom, local search
+  kExactDp,        ///< bitmask DP (n <= kExactLimit enforced by the DP)
+  kDenseBlossom,   ///< dense O(n^3) blossom, exact
+  kSparseBlossom,  ///< sparse price-and-repair blossom, exact
+  kLocalSearch,    ///< greedy + 2-exchange heuristic
+};
+
+struct MatchingOptions {
+  MatchingEngine engine = MatchingEngine::kAuto;
+  /// Candidate-graph neighbor count for the sparse engine (>= 1).
+  int knn = 8;
+};
 
 /// Exact minimum-weight perfect matching by bitmask DP. Requires even n,
-/// n <= 20 (asserted; 2^n states are materialized).
+/// n <= kExactLimit (asserted; 2^n states are materialized).
 Matching exact_min_weight_matching(std::size_t n, const WeightFn& weight);
 
 /// Greedy + 2-exchange local-search matching. Requires even n.
 Matching local_search_matching(std::size_t n, const WeightFn& weight);
 
-/// Dispatches by size: exact DP (n <= kExactLimit), blossom
-/// (n <= kBlossomLimit), local search beyond.
+/// Generic dispatch by size: exact DP (n <= kExactLimit), dense blossom
+/// (n <= kDenseBlossomLimit), local search beyond. Prefer
+/// min_weight_euclidean_matching when coordinates are available.
 Matching min_weight_perfect_matching(std::size_t n, const WeightFn& weight);
+
+/// Geometric dispatch: minimum-weight perfect matching on `pts` (even
+/// count) under Euclidean distance, engine per `opts`. kAuto routes
+/// n <= kExactLimit to the DP, n < kSparseCrossover to the dense
+/// blossom, n <= kBlossomLimit to the sparse blossom, local search
+/// beyond. Both blossom engines share one quantized objective with
+/// deterministic tie-breaking, so forcing kDenseBlossom vs
+/// kSparseBlossom yields identical matchings — the crossover is purely
+/// a latency choice.
+Matching min_weight_euclidean_matching(const std::vector<geom::Point>& pts,
+                                       const MatchingOptions& opts = {});
 
 /// Sum of edge weights in a matching.
 double matching_weight(const Matching& m, const WeightFn& weight);

@@ -153,7 +153,8 @@ Tour double_tree_tour(const TourProblem& problem) {
   return cycle_to_tour(shortcut(walk, n));
 }
 
-Tour christofides_tour(const TourProblem& problem) {
+Tour christofides_tour(const TourProblem& problem,
+                       const matching::MatchingOptions& matching) {
   const std::size_t n = problem.size() + 1;
   if (problem.size() == 0) return {};
   if (problem.size() == 1) return {0};
@@ -172,11 +173,16 @@ Tour christofides_tour(const TourProblem& problem) {
   for (std::uint32_t v = 0; v < n; ++v) {
     if (degree[v] % 2 == 1) odd.push_back(v);
   }
-  // Handshake lemma: |odd| is even.
-  const auto match = matching::min_weight_perfect_matching(
-      odd.size(), [&](std::uint32_t a, std::uint32_t b) {
-        return vertex_distance(problem, odd[a], odd[b]);
-      });
+  // Handshake lemma: |odd| is even. Match on the odd vertices'
+  // coordinates so the geometric engines (sparse blossom by default)
+  // apply; the distance cache serves exactly geom::distance bits, so
+  // the quantized objective matches the cached metric.
+  std::vector<geom::Point> odd_pts;
+  odd_pts.reserve(odd.size());
+  for (const std::uint32_t v : odd) {
+    odd_pts.push_back(v == 0 ? problem.depot : problem.sites[v - 1]);
+  }
+  const auto match = matching::min_weight_euclidean_matching(odd_pts, matching);
 
   std::vector<std::pair<std::uint32_t, std::uint32_t>> multigraph;
   multigraph.reserve(mst.size() + match.size());
@@ -187,7 +193,8 @@ Tour christofides_tour(const TourProblem& problem) {
   return cycle_to_tour(shortcut(walk, n));
 }
 
-Tour build_tour(const TourProblem& problem, TourBuilder builder) {
+Tour build_tour(const TourProblem& problem, TourBuilder builder,
+                const matching::MatchingOptions& matching) {
   switch (builder) {
     case TourBuilder::kNearestNeighbor:
       return nearest_neighbor_tour(problem);
@@ -196,7 +203,7 @@ Tour build_tour(const TourProblem& problem, TourBuilder builder) {
     case TourBuilder::kDoubleTree:
       return double_tree_tour(problem);
     case TourBuilder::kChristofides:
-      return christofides_tour(problem);
+      return christofides_tour(problem, matching);
   }
   MCHARGE_ASSERT(false, "unknown tour builder");
   return {};

@@ -5,6 +5,7 @@
 // returned order is the cycle cut at the depot.
 #pragma once
 
+#include "matching/matching.h"
 #include "tsp/tour_problem.h"
 
 namespace mcharge::tsp {
@@ -19,9 +20,16 @@ enum class TourBuilder {
 Tour nearest_neighbor_tour(const TourProblem& problem);
 Tour greedy_edge_tour(const TourProblem& problem);
 Tour double_tree_tour(const TourProblem& problem);
-Tour christofides_tour(const TourProblem& problem);
+/// Christofides: MST + minimum-weight matching on the odd-degree
+/// vertices + Euler shortcut. The matching runs on the odd vertices'
+/// coordinates through the geometric engine dispatch, so `matching`
+/// selects the engine (exact blossom up to matching::kBlossomLimit odd
+/// vertices by default — the 1.5-approximation holds throughout).
+Tour christofides_tour(const TourProblem& problem,
+                       const matching::MatchingOptions& matching = {});
 
-/// Dispatch on TourBuilder.
-Tour build_tour(const TourProblem& problem, TourBuilder builder);
+/// Dispatch on TourBuilder; `matching` applies to kChristofides only.
+Tour build_tour(const TourProblem& problem, TourBuilder builder,
+                const matching::MatchingOptions& matching = {});
 
 }  // namespace mcharge::tsp

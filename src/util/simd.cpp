@@ -155,6 +155,76 @@ std::size_t scalar_advance_select_below(double* level, double* as_of,
   return count;
 }
 
+std::int64_t scalar_i64_min_where(const std::int64_t* lab,
+                                  const std::int32_t* state,
+                                  std::int32_t want, std::size_t lo,
+                                  std::size_t hi) {
+  std::int64_t best = kI64Max;
+  for (std::size_t i = lo; i < hi; ++i) {
+    if (state[i] == want && lab[i] < best) best = lab[i];
+  }
+  return best;
+}
+
+void scalar_i64_dual_apply(std::int64_t* lab, const std::int32_t* state,
+                           std::size_t lo, std::size_t hi, std::int64_t d) {
+  for (std::size_t i = lo; i < hi; ++i) {
+    if (state[i] == 0) {
+      lab[i] -= d;
+    } else if (state[i] == 1) {
+      lab[i] += d;
+    }
+  }
+}
+
+std::int64_t scalar_i64_slack_bound(const std::int64_t* val,
+                                    const std::int32_t* slack,
+                                    const std::int32_t* st,
+                                    const std::int32_t* s, std::size_t lo,
+                                    std::size_t hi) {
+  std::int64_t best = kI64Max;
+  for (std::size_t i = lo; i < hi; ++i) {
+    if (st[i] != static_cast<std::int32_t>(i) || slack[i] == 0) continue;
+    std::int64_t c;
+    if (s[i] == -1) {
+      c = val[i];
+    } else if (s[i] == 0) {
+      c = val[i] >> 1;  // val >= 0, so >> 1 == / 2
+    } else {
+      continue;
+    }
+    if (c < best) best = c;
+  }
+  return best;
+}
+
+void scalar_i64_slack_shift(std::int64_t* val, const std::int32_t* slack,
+                            const std::int32_t* st, const std::int32_t* s,
+                            std::size_t lo, std::size_t hi, std::int64_t d) {
+  for (std::size_t i = lo; i < hi; ++i) {
+    if (st[i] != static_cast<std::int32_t>(i) || slack[i] == 0) continue;
+    if (s[i] == -1) {
+      val[i] -= d;
+    } else if (s[i] == 0) {
+      val[i] -= 2 * d;
+    }
+  }
+}
+
+std::size_t scalar_price_scan(const double* xs, const double* ys,
+                              std::size_t n, double px, double py,
+                              double bound, const double* adj,
+                              const std::uint32_t* ids, std::uint32_t* out) {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = px - xs[i];
+    const double dy = py - ys[i];
+    const double d = std::sqrt(dx * dx + dy * dy);
+    if (d < bound - adj[i]) out[count++] = ids[i];
+  }
+  return count;
+}
+
 std::size_t scalar_select_within(const double* xs, const double* ys,
                                  std::size_t n, double cx, double cy,
                                  double r2, const std::uint32_t* ids,
@@ -229,6 +299,8 @@ const KernelTable kScalarKernels = {
     scalar_min_reduce,    scalar_max_reduce,    scalar_two_opt_scan,
     scalar_or_opt_scan,   scalar_select_within, scalar_crossing_min,
     scalar_advance_select_below,
+    scalar_i64_min_where, scalar_i64_dual_apply, scalar_i64_slack_bound,
+    scalar_i64_slack_shift, scalar_price_scan,
 };
 }  // namespace detail
 
@@ -332,6 +404,34 @@ std::size_t advance_select_below(double* level, double* as_of,
   return dispatch().table->advance_select_below(level, as_of, dead_since,
                                                 draw, n, t, threshold, ids,
                                                 out);
+}
+
+std::int64_t i64_min_where(const std::int64_t* lab, const std::int32_t* state,
+                           std::int32_t want, std::size_t lo, std::size_t hi) {
+  return dispatch().table->i64_min_where(lab, state, want, lo, hi);
+}
+
+void i64_dual_apply(std::int64_t* lab, const std::int32_t* state,
+                    std::size_t lo, std::size_t hi, std::int64_t d) {
+  dispatch().table->i64_dual_apply(lab, state, lo, hi, d);
+}
+
+std::int64_t i64_slack_bound(const std::int64_t* val, const std::int32_t* slack,
+                             const std::int32_t* st, const std::int32_t* s,
+                             std::size_t lo, std::size_t hi) {
+  return dispatch().table->i64_slack_bound(val, slack, st, s, lo, hi);
+}
+
+void i64_slack_shift(std::int64_t* val, const std::int32_t* slack,
+                     const std::int32_t* st, const std::int32_t* s,
+                     std::size_t lo, std::size_t hi, std::int64_t d) {
+  dispatch().table->i64_slack_shift(val, slack, st, s, lo, hi, d);
+}
+
+std::size_t price_scan(const double* xs, const double* ys, std::size_t n,
+                       double px, double py, double bound, const double* adj,
+                       const std::uint32_t* ids, std::uint32_t* out) {
+  return dispatch().table->price_scan(xs, ys, n, px, py, bound, adj, ids, out);
 }
 
 }  // namespace mcharge::simd

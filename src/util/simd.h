@@ -146,4 +146,47 @@ std::size_t advance_select_below(double* level, double* as_of,
                                  std::size_t n, double t, double threshold,
                                  const std::uint32_t* ids, std::uint32_t* out);
 
+/// Blossom dual-adjustment kernels (matching/blossom_core.h). All-integer:
+/// every backend is trivially bitwise identical to the scalar loops, and
+/// min reductions are order-independent.
+
+inline constexpr std::int64_t kI64Max = INT64_MAX;
+
+/// Min of lab[i] over i in [lo, hi) with state[i] == want; kI64Max if the
+/// range is empty or no element matches.
+std::int64_t i64_min_where(const std::int64_t* lab, const std::int32_t* state,
+                           std::int32_t want, std::size_t lo, std::size_t hi);
+
+/// Batched dual-delta: lab[i] -= d where state[i] == 0 (outer),
+/// lab[i] += d where state[i] == 1 (inner); other states untouched.
+void i64_dual_apply(std::int64_t* lab, const std::int32_t* state,
+                    std::size_t lo, std::size_t hi, std::int64_t d);
+
+/// Min-slack reduction over base ids x in [lo, hi): elements with
+/// st[x] == x and slack[x] != 0 contribute val[x] if s[x] == -1 (free) or
+/// val[x] >> 1 if s[x] == 0 (outer); inner bases and everything else
+/// contribute nothing. val entries reachable by the reduction must be
+/// non-negative (dual feasibility guarantees it). Returns kI64Max if no
+/// element contributes.
+std::int64_t i64_slack_bound(const std::int64_t* val, const std::int32_t* slack,
+                             const std::int32_t* st, const std::int32_t* s,
+                             std::size_t lo, std::size_t hi);
+
+/// Shifts the cached slack deltas after a dual adjustment by d: elements
+/// with st[x] == x and slack[x] != 0 get val[x] -= d if s[x] == -1,
+/// val[x] -= 2d if s[x] == 0; inner bases (s[x] == 1) are unchanged (the
+/// -d source shift cancels the +d target shift).
+void i64_slack_shift(std::int64_t* val, const std::int32_t* slack,
+                     const std::int32_t* st, const std::int32_t* s,
+                     std::size_t lo, std::size_t hi, std::int64_t d);
+
+/// Pricing prefilter for the sparse blossom engine: appends ids[i] to out
+/// for every i in [0, n) with
+///   sqrt((px - xs[i])^2 + (py - ys[i])^2) < bound - adj[i]
+/// preserving order (same operation sequence as geom::distance). Returns
+/// the number of ids written; out must have room for n entries.
+std::size_t price_scan(const double* xs, const double* ys, std::size_t n,
+                       double px, double py, double bound, const double* adj,
+                       const std::uint32_t* ids, std::uint32_t* out);
+
 }  // namespace mcharge::simd

@@ -409,6 +409,191 @@ std::size_t avx2_advance_select_below(double* level, double* as_of,
   return count;
 }
 
+// --- Blossom dual-adjustment kernels (all-integer, trivially bitwise) ----
+
+constexpr std::int64_t kI64MaxLocal = INT64_MAX;
+
+/// Widens 4 x int32 at p + i to 4 x int64 lanes.
+inline __m256i load_i32x4(const std::int32_t* p, std::size_t i) {
+  return _mm256_cvtepi32_epi64(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + i)));
+}
+
+/// Lane-wise signed 64-bit min (AVX2 has no vpminsq; emulate via compare
+/// + blend — exact for all values).
+inline __m256i min_epi64(__m256i a, __m256i b) {
+  return _mm256_blendv_epi8(a, b, _mm256_cmpgt_epi64(a, b));
+}
+
+std::int64_t avx2_i64_min_where(const std::int64_t* lab,
+                                const std::int32_t* state, std::int32_t want,
+                                std::size_t lo, std::size_t hi) {
+  std::int64_t best = kI64MaxLocal;
+  std::size_t i = lo;
+  if (i + 4 <= hi) {
+    const __m256i vmax = _mm256_set1_epi64x(kI64MaxLocal);
+    const __m256i vwant = _mm256_set1_epi64x(want);
+    __m256i acc = vmax;
+    for (; i + 4 <= hi; i += 4) {
+      const __m256i eq = _mm256_cmpeq_epi64(load_i32x4(state, i), vwant);
+      const __m256i val =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(lab + i));
+      acc = min_epi64(acc, _mm256_blendv_epi8(vmax, val, eq));
+    }
+    alignas(32) std::int64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+    for (std::int64_t v : lanes) {
+      if (v < best) best = v;
+    }
+  }
+  for (; i < hi; ++i) {
+    if (state[i] == want && lab[i] < best) best = lab[i];
+  }
+  return best;
+}
+
+void avx2_i64_dual_apply(std::int64_t* lab, const std::int32_t* state,
+                         std::size_t lo, std::size_t hi, std::int64_t d) {
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i one = _mm256_set1_epi64x(1);
+  const __m256i vd = _mm256_set1_epi64x(d);
+  std::size_t i = lo;
+  for (; i + 4 <= hi; i += 4) {
+    const __m256i st4 = load_i32x4(state, i);
+    const __m256i sub = _mm256_and_si256(_mm256_cmpeq_epi64(st4, zero), vd);
+    const __m256i add = _mm256_and_si256(_mm256_cmpeq_epi64(st4, one), vd);
+    __m256i val = _mm256_loadu_si256(reinterpret_cast<__m256i*>(lab + i));
+    val = _mm256_sub_epi64(_mm256_add_epi64(val, add), sub);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(lab + i), val);
+  }
+  for (; i < hi; ++i) {
+    if (state[i] == 0) {
+      lab[i] -= d;
+    } else if (state[i] == 1) {
+      lab[i] += d;
+    }
+  }
+}
+
+std::int64_t avx2_i64_slack_bound(const std::int64_t* val,
+                                  const std::int32_t* slack,
+                                  const std::int32_t* st,
+                                  const std::int32_t* s, std::size_t lo,
+                                  std::size_t hi) {
+  std::int64_t best = kI64MaxLocal;
+  std::size_t i = lo;
+  if (i + 4 <= hi) {
+    const __m256i vmax = _mm256_set1_epi64x(kI64MaxLocal);
+    const __m256i zero = _mm256_setzero_si256();
+    const __m256i minus1 = _mm256_set1_epi64x(-1);
+    const __m256i step = _mm256_set1_epi64x(4);
+    __m256i idx = _mm256_add_epi64(
+        _mm256_set1_epi64x(static_cast<std::int64_t>(i)),
+        _mm256_setr_epi64x(0, 1, 2, 3));
+    __m256i acc = vmax;
+    for (; i + 4 <= hi; i += 4, idx = _mm256_add_epi64(idx, step)) {
+      const __m256i live = _mm256_andnot_si256(
+          _mm256_cmpeq_epi64(load_i32x4(slack, i), zero),
+          _mm256_cmpeq_epi64(load_i32x4(st, i), idx));
+      const __m256i sv = load_i32x4(s, i);
+      const __m256i free_m = _mm256_and_si256(live,
+                                              _mm256_cmpeq_epi64(sv, minus1));
+      const __m256i outer_m = _mm256_and_si256(live,
+                                               _mm256_cmpeq_epi64(sv, zero));
+      const __m256i v =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(val + i));
+      // Contributing lanes are non-negative, so the logical shift is the
+      // arithmetic halving of the scalar reference.
+      const __m256i half = _mm256_srli_epi64(v, 1);
+      __m256i cand = _mm256_blendv_epi8(vmax, v, free_m);
+      cand = _mm256_blendv_epi8(cand, half, outer_m);
+      acc = min_epi64(acc, cand);
+    }
+    alignas(32) std::int64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+    for (std::int64_t v : lanes) {
+      if (v < best) best = v;
+    }
+  }
+  for (; i < hi; ++i) {
+    if (st[i] != static_cast<std::int32_t>(i) || slack[i] == 0) continue;
+    std::int64_t c;
+    if (s[i] == -1) {
+      c = val[i];
+    } else if (s[i] == 0) {
+      c = val[i] >> 1;
+    } else {
+      continue;
+    }
+    if (c < best) best = c;
+  }
+  return best;
+}
+
+void avx2_i64_slack_shift(std::int64_t* val, const std::int32_t* slack,
+                          const std::int32_t* st, const std::int32_t* s,
+                          std::size_t lo, std::size_t hi, std::int64_t d) {
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i minus1 = _mm256_set1_epi64x(-1);
+  const __m256i vd = _mm256_set1_epi64x(d);
+  const __m256i vd2 = _mm256_set1_epi64x(2 * d);
+  const __m256i step = _mm256_set1_epi64x(4);
+  std::size_t i = lo;
+  __m256i idx = _mm256_add_epi64(
+      _mm256_set1_epi64x(static_cast<std::int64_t>(i)),
+      _mm256_setr_epi64x(0, 1, 2, 3));
+  for (; i + 4 <= hi; i += 4, idx = _mm256_add_epi64(idx, step)) {
+    const __m256i live = _mm256_andnot_si256(
+        _mm256_cmpeq_epi64(load_i32x4(slack, i), zero),
+        _mm256_cmpeq_epi64(load_i32x4(st, i), idx));
+    const __m256i sv = load_i32x4(s, i);
+    const __m256i sub1 = _mm256_and_si256(
+        _mm256_and_si256(live, _mm256_cmpeq_epi64(sv, minus1)), vd);
+    const __m256i sub2 = _mm256_and_si256(
+        _mm256_and_si256(live, _mm256_cmpeq_epi64(sv, zero)), vd2);
+    __m256i v = _mm256_loadu_si256(reinterpret_cast<__m256i*>(val + i));
+    v = _mm256_sub_epi64(_mm256_sub_epi64(v, sub1), sub2);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(val + i), v);
+  }
+  for (; i < hi; ++i) {
+    if (st[i] != static_cast<std::int32_t>(i) || slack[i] == 0) continue;
+    if (s[i] == -1) {
+      val[i] -= d;
+    } else if (s[i] == 0) {
+      val[i] -= 2 * d;
+    }
+  }
+}
+
+std::size_t avx2_price_scan(const double* xs, const double* ys, std::size_t n,
+                            double px, double py, double bound,
+                            const double* adj, const std::uint32_t* ids,
+                            std::uint32_t* out) {
+  const __m256d vpx = _mm256_set1_pd(px);
+  const __m256d vpy = _mm256_set1_pd(py);
+  const __m256d vbound = _mm256_set1_pd(bound);
+  std::size_t count = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d d = dist4(_mm256_loadu_pd(xs + i), _mm256_loadu_pd(ys + i),
+                            vpx, vpy);
+    const __m256d rhs = _mm256_sub_pd(vbound, _mm256_loadu_pd(adj + i));
+    int mask = _mm256_movemask_pd(_mm256_cmp_pd(d, rhs, _CMP_LT_OQ));
+    while (mask != 0) {
+      const int lane = __builtin_ctz(mask);
+      out[count++] = ids[i + static_cast<std::size_t>(lane)];
+      mask &= mask - 1;
+    }
+  }
+  for (; i < n; ++i) {
+    const double dx = px - xs[i];
+    const double dy = py - ys[i];
+    const double d = std::sqrt(dx * dx + dy * dy);
+    if (d < bound - adj[i]) out[count++] = ids[i];
+  }
+  return count;
+}
+
 }  // namespace
 
 const KernelTable kAvx2Kernels = {
@@ -416,6 +601,8 @@ const KernelTable kAvx2Kernels = {
     avx2_min_reduce,    avx2_max_reduce,    avx2_two_opt_scan,
     avx2_or_opt_scan,   avx2_select_within, avx2_crossing_min,
     avx2_advance_select_below,
+    avx2_i64_min_where, avx2_i64_dual_apply, avx2_i64_slack_bound,
+    avx2_i64_slack_shift, avx2_price_scan,
 };
 
 }  // namespace mcharge::simd::detail

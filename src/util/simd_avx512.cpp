@@ -387,6 +387,172 @@ std::size_t avx512_advance_select_below(double* level, double* as_of,
   return count;
 }
 
+// --- Blossom dual-adjustment kernels (all-integer, trivially bitwise) ----
+
+constexpr std::int64_t kI64MaxLocal = INT64_MAX;
+
+/// Widens 8 x int32 at p + i to 8 x int64 lanes.
+inline __m512i load_i32x8(const std::int32_t* p, std::size_t i) {
+  return _mm512_cvtepi32_epi64(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i)));
+}
+
+std::int64_t avx512_i64_min_where(const std::int64_t* lab,
+                                  const std::int32_t* state,
+                                  std::int32_t want, std::size_t lo,
+                                  std::size_t hi) {
+  std::int64_t best = kI64MaxLocal;
+  std::size_t i = lo;
+  if (i + 8 <= hi) {
+    const __m512i vwant = _mm512_set1_epi64(want);
+    __m512i acc = _mm512_set1_epi64(kI64MaxLocal);
+    for (; i + 8 <= hi; i += 8) {
+      const __mmask8 m = _mm512_cmpeq_epi64_mask(load_i32x8(state, i), vwant);
+      const __m512i val =
+          _mm512_loadu_si512(reinterpret_cast<const void*>(lab + i));
+      acc = _mm512_mask_min_epi64(acc, m, acc, val);
+    }
+    best = _mm512_reduce_min_epi64(acc);
+  }
+  for (; i < hi; ++i) {
+    if (state[i] == want && lab[i] < best) best = lab[i];
+  }
+  return best;
+}
+
+void avx512_i64_dual_apply(std::int64_t* lab, const std::int32_t* state,
+                           std::size_t lo, std::size_t hi, std::int64_t d) {
+  const __m512i zero = _mm512_setzero_si512();
+  const __m512i one = _mm512_set1_epi64(1);
+  const __m512i vd = _mm512_set1_epi64(d);
+  std::size_t i = lo;
+  for (; i + 8 <= hi; i += 8) {
+    const __m512i st8 = load_i32x8(state, i);
+    const __mmask8 m0 = _mm512_cmpeq_epi64_mask(st8, zero);
+    const __mmask8 m1 = _mm512_cmpeq_epi64_mask(st8, one);
+    __m512i val = _mm512_loadu_si512(reinterpret_cast<void*>(lab + i));
+    val = _mm512_mask_sub_epi64(val, m0, val, vd);
+    val = _mm512_mask_add_epi64(val, m1, val, vd);
+    _mm512_storeu_si512(reinterpret_cast<void*>(lab + i), val);
+  }
+  for (; i < hi; ++i) {
+    if (state[i] == 0) {
+      lab[i] -= d;
+    } else if (state[i] == 1) {
+      lab[i] += d;
+    }
+  }
+}
+
+std::int64_t avx512_i64_slack_bound(const std::int64_t* val,
+                                    const std::int32_t* slack,
+                                    const std::int32_t* st,
+                                    const std::int32_t* s, std::size_t lo,
+                                    std::size_t hi) {
+  std::int64_t best = kI64MaxLocal;
+  std::size_t i = lo;
+  if (i + 8 <= hi) {
+    const __m512i zero = _mm512_setzero_si512();
+    const __m512i minus1 = _mm512_set1_epi64(-1);
+    const __m512i step = _mm512_set1_epi64(8);
+    __m512i idx = _mm512_add_epi64(
+        _mm512_set1_epi64(static_cast<std::int64_t>(i)),
+        _mm512_setr_epi64(0, 1, 2, 3, 4, 5, 6, 7));
+    __m512i acc = _mm512_set1_epi64(kI64MaxLocal);
+    for (; i + 8 <= hi; i += 8, idx = _mm512_add_epi64(idx, step)) {
+      const __mmask8 live =
+          _mm512_cmpeq_epi64_mask(load_i32x8(st, i), idx) &
+          _mm512_cmpneq_epi64_mask(load_i32x8(slack, i), zero);
+      const __m512i sv = load_i32x8(s, i);
+      const __mmask8 free_m = live & _mm512_cmpeq_epi64_mask(sv, minus1);
+      const __mmask8 outer_m = live & _mm512_cmpeq_epi64_mask(sv, zero);
+      const __m512i v =
+          _mm512_loadu_si512(reinterpret_cast<const void*>(val + i));
+      // Contributing lanes are non-negative, so the logical shift is the
+      // arithmetic halving of the scalar reference.
+      acc = _mm512_mask_min_epi64(acc, free_m, acc, v);
+      acc = _mm512_mask_min_epi64(acc, outer_m, acc, _mm512_srli_epi64(v, 1));
+    }
+    best = _mm512_reduce_min_epi64(acc);
+  }
+  for (; i < hi; ++i) {
+    if (st[i] != static_cast<std::int32_t>(i) || slack[i] == 0) continue;
+    std::int64_t c;
+    if (s[i] == -1) {
+      c = val[i];
+    } else if (s[i] == 0) {
+      c = val[i] >> 1;
+    } else {
+      continue;
+    }
+    if (c < best) best = c;
+  }
+  return best;
+}
+
+void avx512_i64_slack_shift(std::int64_t* val, const std::int32_t* slack,
+                            const std::int32_t* st, const std::int32_t* s,
+                            std::size_t lo, std::size_t hi, std::int64_t d) {
+  const __m512i zero = _mm512_setzero_si512();
+  const __m512i minus1 = _mm512_set1_epi64(-1);
+  const __m512i vd = _mm512_set1_epi64(d);
+  const __m512i vd2 = _mm512_set1_epi64(2 * d);
+  const __m512i step = _mm512_set1_epi64(8);
+  std::size_t i = lo;
+  __m512i idx = _mm512_add_epi64(
+      _mm512_set1_epi64(static_cast<std::int64_t>(i)),
+      _mm512_setr_epi64(0, 1, 2, 3, 4, 5, 6, 7));
+  for (; i + 8 <= hi; i += 8, idx = _mm512_add_epi64(idx, step)) {
+    const __mmask8 live =
+        _mm512_cmpeq_epi64_mask(load_i32x8(st, i), idx) &
+        _mm512_cmpneq_epi64_mask(load_i32x8(slack, i), zero);
+    const __m512i sv = load_i32x8(s, i);
+    const __mmask8 free_m = live & _mm512_cmpeq_epi64_mask(sv, minus1);
+    const __mmask8 outer_m = live & _mm512_cmpeq_epi64_mask(sv, zero);
+    __m512i v = _mm512_loadu_si512(reinterpret_cast<void*>(val + i));
+    v = _mm512_mask_sub_epi64(v, free_m, v, vd);
+    v = _mm512_mask_sub_epi64(v, outer_m, v, vd2);
+    _mm512_storeu_si512(reinterpret_cast<void*>(val + i), v);
+  }
+  for (; i < hi; ++i) {
+    if (st[i] != static_cast<std::int32_t>(i) || slack[i] == 0) continue;
+    if (s[i] == -1) {
+      val[i] -= d;
+    } else if (s[i] == 0) {
+      val[i] -= 2 * d;
+    }
+  }
+}
+
+std::size_t avx512_price_scan(const double* xs, const double* ys,
+                              std::size_t n, double px, double py,
+                              double bound, const double* adj,
+                              const std::uint32_t* ids, std::uint32_t* out) {
+  const __m512d vpx = _mm512_set1_pd(px);
+  const __m512d vpy = _mm512_set1_pd(py);
+  const __m512d vbound = _mm512_set1_pd(bound);
+  std::size_t count = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d d = dist8(_mm512_loadu_pd(xs + i), _mm512_loadu_pd(ys + i),
+                            vpx, vpy);
+    const __m512d rhs = _mm512_sub_pd(vbound, _mm512_loadu_pd(adj + i));
+    unsigned mask = _mm512_cmp_pd_mask(d, rhs, _CMP_LT_OQ);
+    while (mask != 0) {
+      const int lane = __builtin_ctz(mask);
+      out[count++] = ids[i + static_cast<std::size_t>(lane)];
+      mask &= mask - 1;
+    }
+  }
+  for (; i < n; ++i) {
+    const double dx = px - xs[i];
+    const double dy = py - ys[i];
+    const double d = std::sqrt(dx * dx + dy * dy);
+    if (d < bound - adj[i]) out[count++] = ids[i];
+  }
+  return count;
+}
+
 }  // namespace
 
 const KernelTable kAvx512Kernels = {
@@ -395,6 +561,8 @@ const KernelTable kAvx512Kernels = {
     avx512_min_reduce,    avx512_max_reduce,    avx512_two_opt_scan,
     avx512_or_opt_scan,   avx512_select_within, avx512_crossing_min,
     avx512_advance_select_below,
+    avx512_i64_min_where, avx512_i64_dual_apply, avx512_i64_slack_bound,
+    avx512_i64_slack_shift, avx512_price_scan,
 };
 
 }  // namespace mcharge::simd::detail

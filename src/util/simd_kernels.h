@@ -56,6 +56,23 @@ struct KernelTable {
                                       double threshold,
                                       const std::uint32_t* ids,
                                       std::uint32_t* out);
+  std::int64_t (*i64_min_where)(const std::int64_t* lab,
+                                const std::int32_t* state, std::int32_t want,
+                                std::size_t lo, std::size_t hi);
+  void (*i64_dual_apply)(std::int64_t* lab, const std::int32_t* state,
+                         std::size_t lo, std::size_t hi, std::int64_t d);
+  std::int64_t (*i64_slack_bound)(const std::int64_t* val,
+                                  const std::int32_t* slack,
+                                  const std::int32_t* st,
+                                  const std::int32_t* s, std::size_t lo,
+                                  std::size_t hi);
+  void (*i64_slack_shift)(std::int64_t* val, const std::int32_t* slack,
+                          const std::int32_t* st, const std::int32_t* s,
+                          std::size_t lo, std::size_t hi, std::int64_t d);
+  std::size_t (*price_scan)(const double* xs, const double* ys, std::size_t n,
+                            double px, double py, double bound,
+                            const double* adj, const std::uint32_t* ids,
+                            std::uint32_t* out);
 };
 
 extern const KernelTable kScalarKernels;

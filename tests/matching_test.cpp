@@ -194,8 +194,9 @@ TEST(Blossom, LargeGeometricInstanceBeatsLocalSearchOrTies) {
 }
 
 TEST(Blossom, AtTheDpFrontier) {
-  // n = 18 and 20: the largest sizes the DP can certify.
-  for (std::size_t n : {std::size_t{18}, std::size_t{20}}) {
+  // n = 14 and kExactLimit: the largest sizes the DP can certify (the DP
+  // asserts n <= kExactLimit, matching its dispatch threshold).
+  for (std::size_t n : {std::size_t{14}, kExactLimit}) {
     Rng rng(n * 977 + 5);
     const auto pts = geom::uniform_field(n, 100.0, 100.0, rng);
     const auto w = euclidean(pts);

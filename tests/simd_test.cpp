@@ -9,7 +9,9 @@
 // identical under every backend.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstring>
 #include <limits>
 #include <vector>
@@ -495,6 +497,158 @@ TEST(Simd, ApproPlanIsByteIdenticalAcrossBackends) {
         << "backend=" << static_cast<int>(b);
     const double delay = sched::execute_plan(problem, plan).longest_delay();
     EXPECT_EQ(scalar_delay, delay) << "backend=" << static_cast<int>(b);
+  }
+}
+
+// ---------- blossom dual / pricing kernels ----------
+
+struct BlossomArrays {
+  std::vector<std::int64_t> lab, val;
+  std::vector<std::int32_t> state, slack, st, s;
+};
+
+BlossomArrays random_blossom_arrays(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  BlossomArrays a;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Mix of small and near-2^61 magnitudes, as the solver produces.
+    const std::int64_t big = std::int64_t{1} << 61;
+    a.lab.push_back(static_cast<std::int64_t>(rng.below(1000)) *
+                        (rng.below(2) ? 1 : -1) +
+                    (rng.below(3) == 0 ? big : 0));
+    a.val.push_back(static_cast<std::int64_t>(rng.below(1000)) +
+                    (rng.below(4) == 0 ? big : 0));
+    a.state.push_back(static_cast<std::int32_t>(rng.below(3)) - 1);
+    a.slack.push_back(rng.below(3) == 0 ? 0
+                                        : static_cast<std::int32_t>(
+                                              1 + rng.below(n + 1)));
+    a.st.push_back(rng.below(2) ? static_cast<std::int32_t>(i)
+                                : static_cast<std::int32_t>(rng.below(n + 1)));
+    a.s.push_back(static_cast<std::int32_t>(rng.below(3)) - 1);
+  }
+  return a;
+}
+
+TEST(Simd, I64MinWhereMatchesScalarOnAllBackends) {
+  for (std::size_t n : kLengths) {
+    const BlossomArrays a = random_blossom_arrays(n, 900 + n);
+    for (std::size_t lo : {std::size_t{0}, std::size_t{1}}) {
+      if (lo > n) continue;
+      for (std::int32_t want : {-1, 0, 1}) {
+        std::int64_t expected = std::numeric_limits<std::int64_t>::max();
+        for (std::size_t i = lo; i < n; ++i) {
+          if (a.state[i] == want) expected = std::min(expected, a.lab[i]);
+        }
+        for (simd::Backend b : supported_backends()) {
+          BackendGuard guard(b);
+          EXPECT_EQ(expected, simd::i64_min_where(a.lab.data(), a.state.data(),
+                                                  want, lo, n))
+              << "n=" << n << " lo=" << lo << " want=" << want
+              << " backend=" << static_cast<int>(b);
+        }
+      }
+    }
+  }
+}
+
+TEST(Simd, I64DualApplyMatchesScalarOnAllBackends) {
+  for (std::size_t n : kLengths) {
+    const BlossomArrays a = random_blossom_arrays(n, 1300 + n);
+    const std::int64_t d = 12345;
+    std::vector<std::int64_t> expected = a.lab;
+    for (std::size_t i = 1; i < n; ++i) {
+      if (a.state[i] == 0) {
+        expected[i] -= d;
+      } else if (a.state[i] == 1) {
+        expected[i] += d;
+      }
+    }
+    for (simd::Backend b : supported_backends()) {
+      BackendGuard guard(b);
+      std::vector<std::int64_t> lab = a.lab;
+      if (n >= 1) simd::i64_dual_apply(lab.data(), a.state.data(), 1, n, d);
+      EXPECT_EQ(expected, lab) << "n=" << n
+                               << " backend=" << static_cast<int>(b);
+    }
+  }
+}
+
+TEST(Simd, I64SlackBoundMatchesScalarOnAllBackends) {
+  for (std::size_t n : kLengths) {
+    const BlossomArrays a = random_blossom_arrays(n, 1700 + n);
+    std::int64_t expected = std::numeric_limits<std::int64_t>::max();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (a.st[i] != static_cast<std::int32_t>(i) || a.slack[i] == 0) continue;
+      if (a.s[i] == -1) {
+        expected = std::min(expected, a.val[i]);
+      } else if (a.s[i] == 0) {
+        expected = std::min(expected, a.val[i] >> 1);
+      }
+    }
+    for (simd::Backend b : supported_backends()) {
+      BackendGuard guard(b);
+      EXPECT_EQ(expected,
+                simd::i64_slack_bound(a.val.data(), a.slack.data(),
+                                      a.st.data(), a.s.data(), 0, n))
+          << "n=" << n << " backend=" << static_cast<int>(b);
+    }
+  }
+}
+
+TEST(Simd, I64SlackShiftMatchesScalarOnAllBackends) {
+  for (std::size_t n : kLengths) {
+    const BlossomArrays a = random_blossom_arrays(n, 2100 + n);
+    const std::int64_t d = 777;
+    std::vector<std::int64_t> expected = a.val;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (a.st[i] != static_cast<std::int32_t>(i) || a.slack[i] == 0) continue;
+      if (a.s[i] == -1) {
+        expected[i] -= d;
+      } else if (a.s[i] == 0) {
+        expected[i] -= 2 * d;
+      }
+    }
+    for (simd::Backend b : supported_backends()) {
+      BackendGuard guard(b);
+      std::vector<std::int64_t> val = a.val;
+      simd::i64_slack_shift(val.data(), a.slack.data(), a.st.data(),
+                            a.s.data(), 0, n, d);
+      EXPECT_EQ(expected, val) << "n=" << n
+                               << " backend=" << static_cast<int>(b);
+    }
+  }
+}
+
+TEST(Simd, PriceScanMatchesScalarOnAllBackends) {
+  for (std::size_t n : kLengths) {
+    const Soa p = random_points(n, 2500 + n);
+    Rng rng(2600 + n);
+    std::vector<double> adj(n);
+    std::vector<std::uint32_t> ids(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      adj[i] = rng.uniform(0.0, 80.0);
+      ids[i] = static_cast<std::uint32_t>(1000 + i);
+    }
+    const double px = 48.0, py = 52.0, bound = 90.0;
+    std::vector<std::uint32_t> expected;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (dist(px, py, p.xs[i], p.ys[i]) < bound - adj[i]) {
+        expected.push_back(ids[i]);
+      }
+    }
+    for (simd::Backend b : supported_backends()) {
+      BackendGuard guard(b);
+      std::vector<std::uint32_t> out(n + 1, 0xdeadbeef);
+      const std::size_t count =
+          simd::price_scan(p.xs.data(), p.ys.data(), n, px, py, bound,
+                           adj.data(), ids.data(), out.data());
+      ASSERT_EQ(expected.size(), count)
+          << "n=" << n << " backend=" << static_cast<int>(b);
+      for (std::size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(expected[i], out[i])
+            << "n=" << n << " i=" << i << " backend=" << static_cast<int>(b);
+      }
+    }
   }
 }
 
