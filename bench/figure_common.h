@@ -46,6 +46,7 @@
 #include "baselines/netwrap.h"
 #include "core/appro.h"
 #include "sim/simulation.h"
+#include "util/assert.h"
 #include "util/cli.h"
 #include "util/parallel.h"
 #include "util/rng.h"
@@ -179,6 +180,13 @@ std::vector<ItemSample> run_point_samples(
         Rng rng(derive_seed(settings.seed, inst));
         const model::WrsnInstance instance = make_instance(rng);
         const auto r = sim::simulate(instance, *algorithms[a], sim_config);
+        // A run cut off by the max_rounds safety cap is a partial
+        // measurement — averaging it into the figure would silently skew
+        // the series. (kHorizonMidRound is fine: the last round of a
+        // loaded run routinely straddles the end of the period.)
+        MCHARGE_ASSERT(
+            r.truncated_reason != sim::TruncationReason::kMaxRounds,
+            "figure point hit SimConfig::max_rounds — results are partial");
         items[idx].tour = r.mean_longest_delay_hours();
         items[idx].dead = r.mean_dead_minutes_per_sensor;
         items[idx].violations = r.verify_violations;

@@ -74,6 +74,14 @@ FleetState fleet_state_at(const model::ChargingProblem& problem,
   return state;
 }
 
+double RecoveryOutcome::longest_delay() const {
+  double worst = primary.longest_delay();
+  if (has_recovery) {
+    worst = std::max(worst, recovery_offset_s + recovery.longest_delay());
+  }
+  return worst;
+}
+
 ReplanResult replan_from(const model::ChargingProblem& problem,
                          const FleetState& state) {
   MCHARGE_ASSERT(state.charged.size() == problem.size(),
@@ -143,6 +151,233 @@ ReplanResult replan_from(const model::ChargingProblem& problem,
     at[mcv] = result.subproblem.position(stop);
   }
   return result;
+}
+
+namespace {
+
+/// Cost of inserting stop `o` at position `p` of MCV `k`'s tour: travel
+/// delta (nominal, jitter-free — it is a routing estimate) plus the stop's
+/// sojourn duration. `p` may equal tour.size() (insert before the depot
+/// leg).
+double insertion_delta(const model::ChargingProblem& problem,
+                       const sched::ChargingPlan& plan, std::size_t k,
+                       const std::vector<std::uint32_t>& tour, std::size_t p,
+                       std::uint32_t o) {
+  const double tau = problem.tau(o);
+  if (tour.empty()) {
+    const geom::Point start = plan.start_of(k, problem.depot());
+    return geom::distance(start, problem.position(o)) / problem.speed() +
+           tau + problem.travel_depot(o);
+  }
+  if (p == 0) {
+    const geom::Point start = plan.start_of(k, problem.depot());
+    const double to_o =
+        geom::distance(start, problem.position(o)) / problem.speed();
+    const double old_leg =
+        geom::distance(start, problem.position(tour[0])) / problem.speed();
+    return to_o + problem.travel(o, tour[0]) - old_leg + tau;
+  }
+  if (p == tour.size()) {
+    return problem.travel(tour[p - 1], o) + problem.travel_depot(o) -
+           problem.travel_depot(tour[p - 1]) + tau;
+  }
+  return problem.travel(tour[p - 1], o) + problem.travel(o, tour[p]) -
+         problem.travel(tour[p - 1], tour[p]) + tau;
+}
+
+}  // namespace
+
+RecoveryOutcome recover_round(const model::ChargingProblem& problem,
+                              const sched::ChargingPlan& plan,
+                              const sched::ExecutionFaults& faults,
+                              RecoveryPolicy policy) {
+  RecoveryOutcome out;
+  out.primary = sched::execute_plan(problem, plan, faults);
+  out.stats.breakdowns = out.primary.num_aborted();
+  if (!out.primary.partial()) return out;
+  const double broken_delay = out.primary.longest_delay();
+
+  // Orphans: sensors this plan would have charged absent the breakdowns
+  // (same jitter draws), but the broken execution did not. Comparing
+  // against the intended execution — not against full coverage — keeps
+  // the notion correct for baseline plans that legitimately skip sensors.
+  sched::ExecutionFaults no_break = faults;
+  no_break.breakdown_after.clear();
+  const sched::ChargingSchedule intended =
+      sched::execute_plan(problem, plan, no_break);
+  std::vector<std::uint32_t> orphans;
+  for (std::uint32_t v = 0; v < problem.size(); ++v) {
+    if (intended.charged_at[v] != sched::kNeverCharged &&
+        out.primary.charged_at[v] == sched::kNeverCharged) {
+      orphans.push_back(v);
+    }
+  }
+  out.stats.orphaned_sensors = orphans.size();
+
+  const std::size_t num_survivors =
+      plan.tours.size() - out.primary.num_aborted();
+  if (policy == RecoveryPolicy::kDefer || orphans.empty() ||
+      num_survivors == 0) {
+    out.stats.deferred_sensors = orphans.size();
+    return out;
+  }
+
+  if (policy == RecoveryPolicy::kGraft) {
+    // The base station learns of the first breakdown at t1; stops a
+    // survivor has already begun by then cannot be rerouted.
+    double t1 = std::numeric_limits<double>::infinity();
+    for (const auto& mcv : out.primary.mcvs) {
+      if (mcv.aborted) t1 = std::min(t1, mcv.return_time);
+    }
+    sched::ChargingPlan patched = plan;
+    std::vector<std::uint32_t> orphan_stops;
+    std::vector<std::size_t> cut(plan.tours.size(), 0);
+    std::vector<double> est(plan.tours.size(), 0.0);
+    for (std::size_t k = 0; k < plan.tours.size(); ++k) {
+      const auto& mcv = out.primary.mcvs[k];
+      if (mcv.aborted) {
+        // Keep only the completed prefix so the orphaned stops can be
+        // reassigned without breaking node-disjointness; the breakdown
+        // index still truncates the tour at exactly the same sojourn.
+        for (std::uint32_t s : mcv.skipped) orphan_stops.push_back(s);
+        patched.tours[k].resize(
+            std::min<std::size_t>(faults.breakdown_of(
+                                      static_cast<std::uint32_t>(k)),
+                                  plan.tours[k].size()));
+        cut[k] = std::numeric_limits<std::size_t>::max();  // ineligible
+      } else {
+        for (const auto& s : mcv.sojourns) {
+          if (s.start <= t1) ++cut[k];
+        }
+        est[k] = mcv.return_time;
+      }
+    }
+    // Cheapest insertion of each orphaned stop into a surviving tour, at
+    // or after the survivor's fixed prefix; ties break to the lowest MCV
+    // id, then the lowest position — deterministic by construction.
+    for (std::uint32_t o : orphan_stops) {
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t best_k = 0, best_p = 0;
+      for (std::size_t k = 0; k < patched.tours.size(); ++k) {
+        if (cut[k] == std::numeric_limits<std::size_t>::max()) continue;
+        const auto& tour = patched.tours[k];
+        const std::size_t first_p = std::min(cut[k], tour.size());
+        for (std::size_t p = first_p; p <= tour.size(); ++p) {
+          const double cost =
+              est[k] + insertion_delta(problem, patched, k, tour, p, o);
+          if (cost < best) {
+            best = cost;
+            best_k = k;
+            best_p = p;
+          }
+          if (tour.empty()) break;  // only one insertion point
+        }
+      }
+      MCHARGE_ASSERT(best < std::numeric_limits<double>::infinity(),
+                     "graft requires a surviving MCV");
+      est[best_k] += insertion_delta(problem, patched, best_k,
+                                     patched.tours[best_k], best_p, o);
+      patched.tours[best_k].insert(
+          patched.tours[best_k].begin() +
+              static_cast<std::ptrdiff_t>(best_p),
+          o);
+    }
+    out.primary = sched::execute_plan(problem, patched, faults);
+  } else {
+    // kReplan: once the last breakdown is known (t_rec), recall every
+    // survivor after the stop it is executing, then run a fresh
+    // reduced-fleet plan over everything still uncharged as a second
+    // wave that starts only after all primary activity has ended.
+    double t_rec = 0.0;
+    for (const auto& mcv : out.primary.mcvs) {
+      if (mcv.aborted) t_rec = std::max(t_rec, mcv.return_time);
+    }
+    sched::ChargingSchedule kept = out.primary;
+    for (std::size_t k = 0; k < kept.mcvs.size(); ++k) {
+      auto& mcv = kept.mcvs[k];
+      if (mcv.aborted) continue;
+      std::size_t keep = 0;
+      while (keep < mcv.sojourns.size() &&
+             mcv.sojourns[keep].start <= t_rec) {
+        ++keep;
+      }
+      if (keep == mcv.sojourns.size()) continue;  // tour completes normally
+      for (std::size_t i = keep; i < mcv.sojourns.size(); ++i) {
+        mcv.skipped.push_back(mcv.sojourns[i].location);
+      }
+      mcv.sojourns.resize(keep);
+      mcv.aborted = true;
+      mcv.return_time = keep == 0 ? 0.0 : mcv.sojourns.back().finish;
+    }
+    kept.charged_at.assign(problem.size(), sched::kNeverCharged);
+    for (const auto& mcv : kept.mcvs) {
+      for (const auto& s : mcv.sojourns) {
+        for (std::uint32_t u : s.charged) kept.charged_at[u] = s.finish;
+      }
+    }
+    // The recovery wave starts after every kept sojourn has finished and
+    // every un-recalled survivor is back home, so the two waves can never
+    // charge concurrently.
+    double t_base = t_rec;
+    for (const auto& mcv : kept.mcvs) {
+      if (!mcv.sojourns.empty()) {
+        t_base = std::max(t_base, mcv.sojourns.back().finish);
+      }
+      if (!mcv.aborted) t_base = std::max(t_base, mcv.return_time);
+    }
+    FleetState state;
+    state.time = t_base;
+    state.charged.assign(problem.size(), 0);
+    for (std::uint32_t v = 0; v < problem.size(); ++v) {
+      if (kept.charged_at[v] != sched::kNeverCharged) state.charged[v] = 1;
+    }
+    for (std::size_t k = 0; k < kept.mcvs.size(); ++k) {
+      if (out.primary.mcvs[k].aborted) continue;  // vehicle lost this round
+      const auto& mcv = kept.mcvs[k];
+      if (mcv.aborted) {  // recalled mid-tour: parked at its last stop
+        state.mcv_positions.push_back(
+            mcv.sojourns.empty()
+                ? plan.start_of(k, problem.depot())
+                : problem.position(mcv.sojourns.back().location));
+      } else {
+        state.mcv_positions.push_back(mcv.sojourns.empty()
+                                          ? plan.start_of(k, problem.depot())
+                                          : problem.depot());
+      }
+    }
+    out.primary = std::move(kept);
+    out.replan = replan_from(problem, state);
+    out.recovery = sched::execute_plan(out.replan.subproblem, out.replan.plan);
+    out.recovery_offset_s = t_base;
+    out.has_recovery = true;
+  }
+
+  // Stats: compare what the round finally charged against the broken
+  // execution (recovered) and the intended one (deferred).
+  std::vector<char> final_charged(problem.size(), 0);
+  for (std::uint32_t v = 0; v < problem.size(); ++v) {
+    if (out.primary.charged_at[v] != sched::kNeverCharged) {
+      final_charged[v] = 1;
+    }
+  }
+  if (out.has_recovery) {
+    for (std::size_t i = 0; i < out.replan.original_index.size(); ++i) {
+      if (out.recovery.charged_at[i] != sched::kNeverCharged) {
+        final_charged[out.replan.original_index[i]] = 1;
+      }
+    }
+  }
+  for (std::uint32_t v : orphans) {
+    if (final_charged[v]) ++out.stats.recovered_sensors;
+  }
+  for (std::uint32_t v = 0; v < problem.size(); ++v) {
+    if (intended.charged_at[v] != sched::kNeverCharged && !final_charged[v]) {
+      ++out.stats.deferred_sensors;
+    }
+  }
+  out.stats.extra_delay_s =
+      std::max(0.0, out.longest_delay() - broken_delay);
+  return out;
 }
 
 }  // namespace mcharge::core

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "model/charging_problem.h"
+#include "schedule/execute.h"
 #include "schedule/plan.h"
 
 namespace mcharge::core {
@@ -49,5 +50,53 @@ struct ReplanResult {
 /// state. Execute and verify the result against `result.subproblem`.
 ReplanResult replan_from(const model::ChargingProblem& problem,
                          const FleetState& state);
+
+/// What the base station does with the stops orphaned by MCV breakdowns.
+enum class RecoveryPolicy {
+  /// Leave orphaned sensors uncharged; they re-request next round.
+  kDefer,
+  /// Graft the orphaned stops onto surviving MCVs' remaining tours by
+  /// cheapest insertion (only after the stops each survivor has already
+  /// begun by the time the first breakdown is known), then re-execute.
+  kGraft,
+  /// Recall the surviving MCVs once the last breakdown is known and run a
+  /// fresh reduced-fleet replan (replan_from) over everything still
+  /// uncharged, executed as a second wave after all primary activity ends.
+  kReplan,
+};
+
+/// Bookkeeping of one recovered round.
+struct RecoveryStats {
+  std::size_t breakdowns = 0;         ///< MCVs that failed mid-tour
+  std::size_t orphaned_sensors = 0;   ///< sensors the breakdowns left behind
+  std::size_t recovered_sensors = 0;  ///< orphans charged anyway this round
+  std::size_t deferred_sensors = 0;   ///< sensors pushed to the next round
+  double extra_delay_s = 0.0;         ///< delay added vs the broken schedule
+};
+
+/// The executed result of one fault round: the primary (possibly partial,
+/// possibly graft-patched) schedule plus, under kReplan, a second recovery
+/// wave against a sub-problem of the still-uncharged sensors.
+struct RecoveryOutcome {
+  sched::ChargingSchedule primary;  ///< indexes the original problem
+  bool has_recovery = false;        ///< kReplan fired a second wave
+  ReplanResult replan;              ///< valid iff has_recovery
+  sched::ChargingSchedule recovery;  ///< indexes replan.subproblem
+  double recovery_offset_s = 0.0;   ///< absolute start time of the wave
+  RecoveryStats stats;
+
+  /// The round's realized longest charge delay across both waves.
+  double longest_delay() const;
+};
+
+/// Executes `plan` under `faults` and applies `policy` to whatever the
+/// breakdowns orphaned. With no breakdown in `faults` this is exactly
+/// execute_plan(problem, plan, faults) wrapped in an outcome. The recovery
+/// wave (kReplan) always uses multi-node charging and runs fault-free: at
+/// most one fault event per MCV per round.
+RecoveryOutcome recover_round(const model::ChargingProblem& problem,
+                              const sched::ChargingPlan& plan,
+                              const sched::ExecutionFaults& faults,
+                              RecoveryPolicy policy);
 
 }  // namespace mcharge::core

@@ -1,5 +1,6 @@
 #include "io/instance_io.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iomanip>
@@ -29,9 +30,18 @@ bool parse_doubles(const std::vector<std::string>& cells, std::size_t from,
     char* end = nullptr;
     const double v = std::strtod(cells[i].c_str(), &end);
     if (end == cells[i].c_str()) return false;
+    // The whole cell must be one number (strtod would silently accept
+    // "1.5abc"); trailing spaces and the \r of CRLF files are fine.
+    while (*end == ' ' || *end == '\t' || *end == '\r') ++end;
+    if (*end != '\0') return false;
     out->push_back(v);
   }
   return true;
+}
+
+/// True iff `x` holds a non-negative integer exactly.
+bool is_index(double x) {
+  return std::isfinite(x) && x >= 0.0 && x == std::floor(x);
 }
 
 }  // namespace
@@ -78,8 +88,34 @@ std::optional<model::WrsnInstance> read_instance_csv(const std::string& path,
       return std::nullopt;
     }
     if (cells[0] == "config") {
+      if (saw_config) {
+        fail(error, "duplicate config line on line " + std::to_string(lineno));
+        return std::nullopt;
+      }
       if (values.size() != 12) {
         fail(error, "config line needs 12 values");
+        return std::nullopt;
+      }
+      for (double v : values) {
+        if (!std::isfinite(v)) {
+          fail(error, "config contains a non-finite value on line " +
+                          std::to_string(lineno));
+          return std::nullopt;
+        }
+      }
+      if (values[6] <= 0.0 || values[7] <= 0.0 || values[8] <= 0.0 ||
+          values[9] <= 0.0) {
+        fail(error,
+             "capacity, charging radius, charging rate, and speed must all "
+             "be positive");
+        return std::nullopt;
+      }
+      if (!is_index(values[10]) || values[10] < 1.0) {
+        fail(error, "num_chargers must be a positive integer");
+        return std::nullopt;
+      }
+      if (values[11] <= 0.0 || values[11] >= 1.0) {
+        fail(error, "request threshold must be in (0, 1)");
         return std::nullopt;
       }
       model::NetworkConfig& c = instance.config;
@@ -95,13 +131,39 @@ std::optional<model::WrsnInstance> read_instance_csv(const std::string& path,
       c.request_threshold = values[11];
       saw_config = true;
     } else if (cells[0] == "sensor") {
-      if (values.size() != 4) {
-        fail(error, "sensor line needs 4 values");
+      // v1: x,y,rate,consumption. v2: id,x,y,rate,consumption — the id
+      // must equal the 0-based row index, which rejects duplicate and
+      // out-of-order sensor ids outright.
+      if (values.size() != 4 && values.size() != 5) {
+        fail(error, "sensor line needs 4 values (v1) or id + 4 values (v2)");
         return std::nullopt;
       }
-      instance.positions.push_back({values[0], values[1]});
-      instance.rate_bps.push_back(values[2]);
-      instance.consumption_w.push_back(values[3]);
+      std::size_t at = 0;
+      if (values.size() == 5) {
+        if (!is_index(values[0]) ||
+            static_cast<std::size_t>(values[0]) != instance.positions.size()) {
+          fail(error, "sensor id on line " + std::to_string(lineno) +
+                          " must equal its 0-based row index (duplicate, "
+                          "out-of-order, or non-integer id)");
+          return std::nullopt;
+        }
+        at = 1;
+      }
+      if (!std::isfinite(values[at]) || !std::isfinite(values[at + 1])) {
+        fail(error, "sensor position on line " + std::to_string(lineno) +
+                        " is not finite");
+        return std::nullopt;
+      }
+      if (!std::isfinite(values[at + 2]) || values[at + 2] < 0.0 ||
+          !std::isfinite(values[at + 3]) || values[at + 3] < 0.0) {
+        fail(error, "sensor rate/consumption on line " +
+                        std::to_string(lineno) +
+                        " must be finite and non-negative");
+        return std::nullopt;
+      }
+      instance.positions.push_back({values[at], values[at + 1]});
+      instance.rate_bps.push_back(values[at + 2]);
+      instance.consumption_w.push_back(values[at + 3]);
     } else {
       fail(error, "unknown record '" + cells[0] + "' on line " +
                       std::to_string(lineno));
@@ -169,6 +231,24 @@ std::optional<RoundData> read_round_csv(const std::string& path,
         values.size() > 4) {
       fail(error, "line " + std::to_string(lineno) +
                       " must be x,y,deficit_j[,lifetime_s]");
+      return std::nullopt;
+    }
+    if (!std::isfinite(values[0]) || !std::isfinite(values[1])) {
+      fail(error,
+           "position on line " + std::to_string(lineno) + " is not finite");
+      return std::nullopt;
+    }
+    if (!std::isfinite(values[2]) || values[2] < 0.0) {
+      fail(error, "deficit on line " + std::to_string(lineno) +
+                      " must be finite and non-negative");
+      return std::nullopt;
+    }
+    if (values.size() == 4 &&
+        (std::isnan(values[3]) || values[3] < 0.0)) {
+      // +inf is a legal lifetime (a sensor that never drains); NaN and
+      // negative values are not.
+      fail(error, "lifetime on line " + std::to_string(lineno) +
+                      " must be non-negative (inf allowed)");
       return std::nullopt;
     }
     round.positions.push_back({values[0], values[1]});

@@ -28,12 +28,34 @@ struct ActiveSojourn {
   double finish;
 };
 
-/// Travel time from MCV k's start position to location `loc`.
+/// Travel time from MCV k's start position to location `loc` (leg 0).
 double start_leg(const model::ChargingProblem& problem,
-                 const ChargingPlan& plan, std::uint32_t mcv,
-                 std::uint32_t loc) {
+                 const ChargingPlan& plan, const ExecutionFaults& faults,
+                 std::uint32_t mcv, std::uint32_t loc) {
   const geom::Point start = plan.start_of(mcv, problem.depot());
-  return geom::distance(start, problem.position(loc)) / problem.speed();
+  double t = geom::distance(start, problem.position(loc)) / problem.speed();
+  if (faults.travel_multiplier) t *= faults.travel_multiplier(mcv, 0);
+  return t;
+}
+
+/// Travel time of the leg arriving at sojourn `leg` of MCV k's tour.
+double leg_time(const model::ChargingProblem& problem,
+                const ExecutionFaults& faults, std::uint32_t mcv,
+                std::size_t leg, std::uint32_t from, std::uint32_t to) {
+  double t = problem.travel(from, to);
+  if (faults.travel_multiplier) t *= faults.travel_multiplier(mcv, leg);
+  return t;
+}
+
+/// Depot-return leg (leg index = tour length).
+double return_leg(const model::ChargingProblem& problem,
+                  const ExecutionFaults& faults, std::uint32_t mcv,
+                  std::size_t tour_len, std::uint32_t from) {
+  double t = problem.travel_depot(from);
+  if (faults.travel_multiplier) {
+    t *= faults.travel_multiplier(mcv, tour_len);
+  }
+  return t;
 }
 
 void resolve_starts(const model::ChargingProblem& problem,
@@ -44,8 +66,22 @@ void resolve_starts(const model::ChargingProblem& problem,
   }
 }
 
+/// Marks MCV `k` broken before performing sojourn `pos`: the tour ends at
+/// the last completed sojourn's finish (or the start instant for pos = 0)
+/// and every remaining planned stop is recorded as skipped.
+void abort_tour(const ChargingPlan& plan, std::uint32_t k, std::size_t pos,
+                McvSchedule* mcv) {
+  mcv->aborted = true;
+  mcv->return_time =
+      mcv->sojourns.empty() ? 0.0 : mcv->sojourns.back().finish;
+  const auto& tour = plan.tours[k];
+  mcv->skipped.assign(tour.begin() + static_cast<std::ptrdiff_t>(pos),
+                      tour.end());
+}
+
 ChargingSchedule execute_multinode(const model::ChargingProblem& problem,
-                                   const ChargingPlan& plan) {
+                                   const ChargingPlan& plan,
+                                   const ExecutionFaults& faults) {
   ChargingSchedule schedule;
   schedule.mode = ChargeMode::kMultiNode;
   schedule.mcvs.resize(plan.tours.size());
@@ -59,10 +95,14 @@ ChargingSchedule execute_multinode(const model::ChargingProblem& problem,
 
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
   for (std::uint32_t k = 0; k < plan.tours.size(); ++k) {
-    if (!plan.tours[k].empty()) {
-      events.push({start_leg(problem, plan, k, plan.tours[k][0]), k, 0});
-    } else {
+    if (plan.tours[k].empty()) {
       schedule.mcvs[k].return_time = 0.0;
+    } else if (faults.breakdown_of(k) == 0) {
+      // Broke down at dispatch: never leaves the depot area.
+      abort_tour(plan, k, 0, &schedule.mcvs[k]);
+    } else {
+      events.push({start_leg(problem, plan, faults, k, plan.tours[k][0]), k,
+                   0});
     }
   }
 
@@ -81,6 +121,7 @@ ChargingSchedule execute_multinode(const model::ChargingProblem& problem,
     for (std::uint32_t u : to_charge) {
       duration = std::max(duration, problem.charge_seconds(u));
     }
+    if (faults.charge_multiplier) duration *= faults.charge_multiplier(loc);
 
     double start = ev.time;
     if (duration > 0.0) {
@@ -119,13 +160,22 @@ ChargingSchedule execute_multinode(const model::ChargingProblem& problem,
     }
     schedule.mcvs[ev.mcv].sojourns.push_back(std::move(sojourn));
 
+    // Breakdown: the vehicle fails while departing this stop; remaining
+    // planned stops are never visited.
+    if (ev.tour_pos + 1 >= faults.breakdown_of(ev.mcv)) {
+      abort_tour(plan, ev.mcv, ev.tour_pos + 1, &schedule.mcvs[ev.mcv]);
+      continue;
+    }
+
     // Next leg.
     if (ev.tour_pos + 1 < tour.size()) {
-      const double travel = problem.travel(loc, tour[ev.tour_pos + 1]);
+      const double travel = leg_time(problem, faults, ev.mcv, ev.tour_pos + 1,
+                                     loc, tour[ev.tour_pos + 1]);
       events.push({start + duration + travel, ev.mcv, ev.tour_pos + 1});
     } else {
       schedule.mcvs[ev.mcv].return_time =
-          start + duration + problem.travel_depot(loc);
+          start + duration +
+          return_leg(problem, faults, ev.mcv, tour.size(), loc);
     }
   }
 
@@ -135,15 +185,17 @@ ChargingSchedule execute_multinode(const model::ChargingProblem& problem,
     auto& mcv = schedule.mcvs[k];
     double clock = 0.0;
     std::uint32_t prev = 0;
+    std::size_t leg = 0;
     bool first = true;
     for (auto& s : mcv.sojourns) {
-      clock += first ? start_leg(problem, plan, k, s.location)
-                     : problem.travel(prev, s.location);
+      clock += first ? start_leg(problem, plan, faults, k, s.location)
+                     : leg_time(problem, faults, k, leg, prev, s.location);
       s.arrival = clock;
       MCHARGE_DASSERT(s.start >= s.arrival - 1e-9,
                       "sojourn starts before arrival");
       clock = s.finish;
       prev = s.location;
+      ++leg;
       first = false;
     }
   }
@@ -151,7 +203,8 @@ ChargingSchedule execute_multinode(const model::ChargingProblem& problem,
 }
 
 ChargingSchedule execute_one_to_one(const model::ChargingProblem& problem,
-                                    const ChargingPlan& plan) {
+                                    const ChargingPlan& plan,
+                                    const ExecutionFaults& faults) {
   ChargingSchedule schedule;
   schedule.mode = ChargeMode::kOneToOne;
   schedule.mcvs.resize(plan.tours.size());
@@ -163,8 +216,12 @@ ChargingSchedule execute_one_to_one(const model::ChargingProblem& problem,
   // duration stop), mirroring the baselines' tie handling.
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
   for (std::uint32_t k = 0; k < plan.tours.size(); ++k) {
-    if (!plan.tours[k].empty()) {
-      events.push({start_leg(problem, plan, k, plan.tours[k][0]), k, 0});
+    if (plan.tours[k].empty()) continue;
+    if (faults.breakdown_of(k) == 0) {
+      abort_tour(plan, k, 0, &schedule.mcvs[k]);
+    } else {
+      events.push({start_leg(problem, plan, faults, k, plan.tours[k][0]), k,
+                   0});
     }
   }
   std::vector<char> committed(problem.size(), 0);
@@ -182,18 +239,28 @@ ChargingSchedule execute_one_to_one(const model::ChargingProblem& problem,
     if (!committed[loc]) {
       committed[loc] = 1;
       duration = problem.charge_seconds(loc);
+      if (faults.charge_multiplier) {
+        duration *= faults.charge_multiplier(loc);
+      }
       sojourn.charged = {loc};
       schedule.charged_at[loc] = ev.time + duration;
     }
     sojourn.finish = ev.time + duration;
     schedule.mcvs[ev.mcv].sojourns.push_back(std::move(sojourn));
 
+    if (ev.tour_pos + 1 >= faults.breakdown_of(ev.mcv)) {
+      abort_tour(plan, ev.mcv, ev.tour_pos + 1, &schedule.mcvs[ev.mcv]);
+      continue;
+    }
+
     if (ev.tour_pos + 1 < tour.size()) {
-      const double travel = problem.travel(loc, tour[ev.tour_pos + 1]);
+      const double travel = leg_time(problem, faults, ev.mcv, ev.tour_pos + 1,
+                                     loc, tour[ev.tour_pos + 1]);
       events.push({ev.time + duration + travel, ev.mcv, ev.tour_pos + 1});
     } else {
       schedule.mcvs[ev.mcv].return_time =
-          ev.time + duration + problem.travel_depot(loc);
+          ev.time + duration +
+          return_leg(problem, faults, ev.mcv, tour.size(), loc);
     }
   }
   return schedule;
@@ -203,8 +270,17 @@ ChargingSchedule execute_one_to_one(const model::ChargingProblem& problem,
 
 ChargingSchedule execute_plan(const model::ChargingProblem& problem,
                               const ChargingPlan& plan) {
+  return execute_plan(problem, plan, ExecutionFaults{});
+}
+
+ChargingSchedule execute_plan(const model::ChargingProblem& problem,
+                              const ChargingPlan& plan,
+                              const ExecutionFaults& faults) {
   MCHARGE_ASSERT(plan.starts.empty() || plan.starts.size() == plan.tours.size(),
                  "plan.starts must be empty or one per tour");
+  MCHARGE_ASSERT(faults.breakdown_after.empty() ||
+                     faults.breakdown_after.size() == plan.tours.size(),
+                 "breakdown_after must be empty or one entry per tour");
   // Plans must not reuse a location across or within tours (node-disjoint
   // closed tours per Definition 1).
   std::vector<char> used(problem.size(), 0);
@@ -216,8 +292,8 @@ ChargingSchedule execute_plan(const model::ChargingProblem& problem,
     }
   }
   return plan.mode == ChargeMode::kMultiNode
-             ? execute_multinode(problem, plan)
-             : execute_one_to_one(problem, plan);
+             ? execute_multinode(problem, plan, faults)
+             : execute_one_to_one(problem, plan, faults);
 }
 
 }  // namespace mcharge::sched

@@ -15,16 +15,77 @@
 // One-to-one mode implements the baselines' scheme: the MCV charges only
 // the sensor it parks at, for t_v seconds (skipping sensors someone already
 // charged), with no cross-charger interference by assumption.
+//
+// Failure-aware execution: an ExecutionFaults bundle injects per-MCV
+// mid-tour breakdowns (the tour truncates; remaining stops are recorded as
+// skipped and their sensors stay uncharged) and multiplicative travel /
+// charging-time jitter. With a default-constructed bundle the executor is
+// bit-identical to the fault-free path — no multiplier is ever applied.
 #pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
 
 #include "model/charging_problem.h"
 #include "schedule/plan.h"
 
 namespace mcharge::sched {
 
+/// Deterministic per-round fault inputs for one plan execution. The
+/// multiplier callbacks MUST be pure functions of their arguments (the
+/// repo-wide determinism contract): sim::FaultModel derives them from
+/// splitmix64 streams keyed by (seed, round, entity).
+struct ExecutionFaults {
+  static constexpr std::uint32_t kNoBreakdown =
+      std::numeric_limits<std::uint32_t>::max();
+
+  /// Per MCV: number of sojourns completed before the vehicle fails
+  /// (kNoBreakdown = the tour completes). A value of 0 means the MCV
+  /// breaks down at dispatch, before reaching its first stop. Empty =
+  /// no breakdowns anywhere.
+  std::vector<std::uint32_t> breakdown_after;
+  /// Multiplicative travel-time factor for (mcv, leg). Leg i is the leg
+  /// arriving at sojourn i (leg 0 leaves the start position); leg ==
+  /// tour length is the depot-return leg. Null = 1 everywhere.
+  std::function<double(std::uint32_t mcv, std::size_t leg)> travel_multiplier;
+  /// Multiplicative charging-duration factor for a sojourn parked at
+  /// `location`. Null = 1 everywhere.
+  std::function<double(std::uint32_t location)> charge_multiplier;
+
+  std::uint32_t breakdown_of(std::uint32_t mcv) const {
+    return mcv < breakdown_after.size() ? breakdown_after[mcv] : kNoBreakdown;
+  }
+  bool has_breakdown() const {
+    for (std::uint32_t b : breakdown_after) {
+      if (b != kNoBreakdown) return true;
+    }
+    return false;
+  }
+  double travel_mult(std::uint32_t mcv, std::size_t leg) const {
+    return travel_multiplier ? travel_multiplier(mcv, leg) : 1.0;
+  }
+  double charge_mult(std::uint32_t location) const {
+    return charge_multiplier ? charge_multiplier(location) : 1.0;
+  }
+  /// True when this bundle can change anything about the execution.
+  bool any() const {
+    return has_breakdown() || travel_multiplier != nullptr ||
+           charge_multiplier != nullptr;
+  }
+};
+
 /// Executes `plan` against `problem`. The plan may reference each sensor
 /// location at most once across all tours (asserted).
 ChargingSchedule execute_plan(const model::ChargingProblem& problem,
                               const ChargingPlan& plan);
+
+/// Failure-aware overload: breakdowns truncate tours (the schedule is then
+/// partial()), jitter rescales travel legs and charging durations. With an
+/// empty `faults` this is exactly execute_plan(problem, plan).
+ChargingSchedule execute_plan(const model::ChargingProblem& problem,
+                              const ChargingPlan& plan,
+                              const ExecutionFaults& faults);
 
 }  // namespace mcharge::sched

@@ -55,6 +55,17 @@ std::size_t ChargingSchedule::num_stops() const {
   return total;
 }
 
+bool ChargingSchedule::partial() const {
+  return std::any_of(mcvs.begin(), mcvs.end(),
+                     [](const McvSchedule& m) { return m.aborted; });
+}
+
+std::size_t ChargingSchedule::num_aborted() const {
+  std::size_t total = 0;
+  for (const auto& mcv : mcvs) total += mcv.aborted ? 1 : 0;
+  return total;
+}
+
 bool ChargingSchedule::all_charged() const {
   return std::all_of(charged_at.begin(), charged_at.end(),
                      [](double t) { return t != kNeverCharged; });

@@ -60,6 +60,15 @@ struct Sojourn {
 struct McvSchedule {
   std::vector<Sojourn> sojourns;
   double return_time = 0.0;  ///< back at the depot; this is T'(k), Eq. (4)
+  /// True when the tour ended in the field instead of at the depot: a
+  /// mid-tour breakdown (execute.h's ExecutionFaults) or a recovery
+  /// recall (core/replan.h). return_time is then the instant the MCV
+  /// stopped executing — no depot leg; vehicle retrieval is outside the
+  /// delay metric.
+  bool aborted = false;
+  /// Planned stops this MCV never visited (tour order). Empty unless
+  /// `aborted`. Another MCV may still visit them (recovery grafting).
+  std::vector<std::uint32_t> skipped;
 };
 
 inline constexpr double kNeverCharged = std::numeric_limits<double>::infinity();
@@ -89,6 +98,11 @@ struct ChargingSchedule {
   std::size_t num_stops() const;
   /// True iff every sensor got charged.
   bool all_charged() const;
+  /// True iff any tour ended in the field (breakdown or recall): the
+  /// round executed only part of its plan.
+  bool partial() const;
+  /// Number of MCVs whose tour was aborted.
+  std::size_t num_aborted() const;
 
   /// Per-MCV energy budget of the executed round: energy radiated while
   /// charging (active duration * the problem's charging rate — the

@@ -44,10 +44,11 @@ std::vector<std::string> verify_schedule(const model::ChargingProblem& problem,
       const geom::Point start = k < schedule.starts.size()
                                     ? schedule.starts[k]
                                     : problem.depot();
-      const double travel =
+      double travel =
           i == 0 ? geom::distance(start, problem.position(s.location)) /
                        problem.speed()
                  : problem.travel(mcv.sojourns[i - 1].location, s.location);
+      if (options.faults) travel *= options.faults->travel_mult(k, i);
       if (s.arrival + eps < clock + travel) {
         violations.push_back(fmt("early arrival", k, i,
                                  "arrival precedes previous finish + travel"));
@@ -89,6 +90,7 @@ std::vector<std::string> verify_schedule(const model::ChargingProblem& problem,
           charged_by[u] = static_cast<int>(k);
         }
       }
+      if (options.faults) needed *= options.faults->charge_mult(s.location);
       if (s.finish - s.start + eps < needed) {
         violations.push_back(
             fmt("undercharge", k, i,
@@ -96,9 +98,27 @@ std::vector<std::string> verify_schedule(const model::ChargingProblem& problem,
       }
       clock = s.finish;
     }
-    if (!mcv.sojourns.empty()) {
-      const double expected_return =
-          clock + problem.travel_depot(mcv.sojourns.back().location);
+    if (mcv.aborted) {
+      if (!options.allow_partial) {
+        violations.push_back(fmt("aborted tour", k, mcv.sojourns.size(),
+                                 "tour truncated but partial schedules are "
+                                 "not allowed here"));
+      } else if (std::abs(mcv.return_time - clock) > eps) {
+        // An aborted tour ends where it stopped: return_time is the last
+        // completed sojourn's finish (0 if it never reached a stop).
+        violations.push_back(fmt("wrong abort time", k,
+                                 mcv.sojourns.size(),
+                                 "return_time of an aborted tour must equal "
+                                 "the last completed finish"));
+      }
+    } else if (!mcv.sojourns.empty()) {
+      double depot_leg = problem.travel_depot(mcv.sojourns.back().location);
+      if (options.faults) {
+        // The depot-return leg's index is the tour length, which for a
+        // completed tour equals the number of sojourns.
+        depot_leg *= options.faults->travel_mult(k, mcv.sojourns.size());
+      }
+      const double expected_return = clock + depot_leg;
       if (std::abs(mcv.return_time - expected_return) > eps) {
         violations.push_back(fmt("wrong return time", k,
                                  mcv.sojourns.size() - 1, ""));

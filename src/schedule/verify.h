@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "model/charging_problem.h"
+#include "schedule/execute.h"
 #include "schedule/plan.h"
 
 namespace mcharge::sched {
@@ -16,6 +17,14 @@ namespace mcharge::sched {
 struct VerifyOptions {
   bool require_full_coverage = true;  ///< every sensor must be charged
   double tolerance = 1e-6;            ///< seconds, for time comparisons
+  /// Accept aborted (breakdown-truncated) tours: the MCV's return_time must
+  /// then equal its last sojourn's finish (no depot leg) instead of the
+  /// depot return. Without this flag an aborted tour is a violation.
+  bool allow_partial = false;
+  /// The fault bundle the schedule was executed under, if any. The checker
+  /// re-derives expected travel legs and charging durations through the
+  /// same multipliers; null means fault-free nominal times.
+  const ExecutionFaults* faults = nullptr;
 };
 
 /// Returns human-readable violations; empty means the schedule is valid.

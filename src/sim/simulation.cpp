@@ -7,8 +7,11 @@
 #include <optional>
 #include <vector>
 
+#include "core/replan.h"
 #include "schedule/execute.h"
 #include "schedule/verify.h"
+#include "sim/faults.h"
+#include "sim/validate.h"
 #include "util/assert.h"
 #include "util/parallel.h"
 #include "util/simd.h"
@@ -85,9 +88,12 @@ SimResult simulate(const model::WrsnInstance& instance,
   const double threshold_j = net.request_threshold * capacity;
   const double horizon = config.monitoring_period_s;
 
-  MCHARGE_ASSERT(config.charge_target_fraction > net.request_threshold &&
-                     config.charge_target_fraction <= 1.0,
-                 "charge target must be in (threshold, 1]");
+  // Up-front structured validation: every precondition of the round loop
+  // is checked here; simulate_checked() exposes the same check without the
+  // abort for callers that must survive hostile input.
+  if (auto input_error = validate_sim_inputs(instance, config)) {
+    MCHARGE_ASSERT(false, input_error->message.c_str());
+  }
   const double target_j = config.charge_target_fraction * capacity;
 
   SimResult result;
@@ -116,7 +122,18 @@ SimResult simulate(const model::WrsnInstance& instance,
     }
   };
 
+  const FaultModel fault_model(config.faults);
+  const bool deaths_on = config.faults.sensor_death_prob > 0.0;
   const double* draw = instance.consumption_w.data();
+  // Sensor death needs a mutable draw array (a dead sensor stops
+  // consuming); copy only when that fault class is enabled so the
+  // fault-free path reads the instance's own memory as before.
+  std::vector<double> draw_override;
+  if (deaths_on) {
+    draw_override = instance.consumption_w;
+    draw = draw_override.data();
+  }
+  std::vector<char> failed(deaths_on ? n : 0, 0);
   SensorSoa state;
   state.level.assign(n, config.initial_level_fraction * capacity);
   state.as_of.assign(n, 0.0);
@@ -154,7 +171,31 @@ SimResult simulate(const model::WrsnInstance& instance,
   // Time each sensor's pending request was raised (kInf = not pending).
   std::vector<double> pending_since(n, kInf);
 
-  while (result.rounds < config.max_rounds) {
+  while (true) {
+    // Permanent sensor deaths, drawn per (round, sensor) at the moment the
+    // base station could next react. A dead sensor settles its dead-time
+    // account, then leaves the network: zero draw and a full "level" keep
+    // it out of both scans and the batch forever.
+    if (deaths_on) {
+      const double t_now = std::min(fleet_ready, horizon);
+      for (std::size_t v = 0; v < n; ++v) {
+        if (failed[v] || !fault_model.sensor_dies(result.rounds,
+                                                  static_cast<std::uint32_t>(v)))
+          continue;
+        advance_one(v, t_now);
+        if (state.dead_since[v] != kInf) {
+          credit_dead(v, state.dead_since[v], t_now);
+          state.dead_since[v] = kInf;
+        }
+        failed[v] = 1;
+        ++result.sensors_failed;
+        draw_override[v] = 0.0;
+        state.level[v] = capacity;
+        state.as_of[v] = t_now;
+        pending_since[v] = kInf;
+      }
+    }
+
     // Next request among all sensors: per-sensor threshold crossings (now
     // for already-below sensors), min-reduced in shard index order.
     double first_request = kInf;
@@ -177,6 +218,14 @@ SimResult simulate(const model::WrsnInstance& instance,
       }
     }
     if (first_request >= horizon) break;
+    if (result.rounds >= config.max_rounds) {
+      // Work remains but the round budget is exhausted: the aggregates
+      // cover only a prefix of the period. Callers must not read this as
+      // a full-horizon result.
+      result.truncated = true;
+      result.truncated_reason = TruncationReason::kMaxRounds;
+      break;
+    }
 
     double dispatch = std::max(first_request, fleet_ready);
     if (config.dispatch_epoch_s > 0.0) {
@@ -184,6 +233,10 @@ SimResult simulate(const model::WrsnInstance& instance,
       dispatch =
           snap_dispatch_to_epoch(dispatch, config.dispatch_epoch_s,
                                  fleet_ready);
+    }
+    if (config.faults.dispatch_delay_prob > 0.0) {
+      // Transient depot fault: the whole fleet leaves late this round.
+      dispatch += fault_model.dispatch_delay(result.rounds);
     }
     if (dispatch >= horizon) break;
     MCHARGE_ASSERT(dispatch >= fleet_ready,
@@ -254,28 +307,84 @@ SimResult simulate(const model::WrsnInstance& instance,
 
     const sched::ChargingPlan plan =
         scheduler.plan_with_jobs(problem, config.plan_jobs);
-    const sched::ChargingSchedule schedule =
-        sched::execute_plan(problem, plan);
+    sched::ExecutionFaults round_fault;
+    if (fault_model.enabled()) {
+      round_fault = fault_model.round_faults(result.rounds, plan);
+    }
 
-    // One-to-one baselines may legitimately skip sensors (AA's profit
-    // pruning); do not demand full coverage, only internal consistency.
-    sched::VerifyOptions verify_options;
-    verify_options.require_full_coverage = false;
-    result.verify_violations +=
-        sched::verify_schedule(problem, schedule, verify_options).size();
+    sched::ChargingSchedule schedule;
+    std::vector<double> merged_charged_at;
+    const std::vector<double>* charged_at = nullptr;
+    double round_delay = 0.0;
+    double round_wait = 0.0;
+    RoundLog round_log;
+    if (round_fault.any()) {
+      // Faulty round: execute under the fault bundle and let the recovery
+      // policy deal with whatever the breakdowns orphaned. The primary
+      // (possibly partial) schedule is verified against the same fault
+      // bundle; a recovery wave is verified as a normal full-coverage
+      // schedule of its own sub-problem.
+      core::RecoveryOutcome outcome =
+          core::recover_round(problem, plan, round_fault, config.recovery);
+      sched::VerifyOptions verify_options;
+      verify_options.require_full_coverage = false;
+      verify_options.allow_partial = true;
+      verify_options.faults = &round_fault;
+      result.verify_violations +=
+          sched::verify_schedule(problem, outcome.primary, verify_options)
+              .size();
+      round_wait = outcome.primary.total_wait();
+      merged_charged_at = outcome.primary.charged_at;
+      if (outcome.has_recovery) {
+        result.verify_violations +=
+            sched::verify_schedule(outcome.replan.subproblem,
+                                   outcome.recovery)
+                .size();
+        round_wait += outcome.recovery.total_wait();
+        for (std::size_t i = 0; i < outcome.replan.original_index.size();
+             ++i) {
+          if (outcome.recovery.charged_at[i] == sched::kNeverCharged) {
+            continue;
+          }
+          merged_charged_at[outcome.replan.original_index[i]] =
+              outcome.recovery_offset_s + outcome.recovery.charged_at[i];
+        }
+      }
+      charged_at = &merged_charged_at;
+      round_delay = outcome.longest_delay();
+      result.mcv_breakdowns += outcome.stats.breakdowns;
+      result.recovered_sensors += outcome.stats.recovered_sensors;
+      result.deferred_sensors += outcome.stats.deferred_sensors;
+      result.extra_recovery_delay_s += outcome.stats.extra_delay_s;
+      round_log.breakdowns = outcome.stats.breakdowns;
+      round_log.recovered = outcome.stats.recovered_sensors;
+      round_log.deferred = outcome.stats.deferred_sensors;
+      round_log.extra_delay_s = outcome.stats.extra_delay_s;
+    } else {
+      schedule = sched::execute_plan(problem, plan);
+
+      // One-to-one baselines may legitimately skip sensors (AA's profit
+      // pruning); do not demand full coverage, only internal consistency.
+      sched::VerifyOptions verify_options;
+      verify_options.require_full_coverage = false;
+      result.verify_violations +=
+          sched::verify_schedule(problem, schedule, verify_options).size();
+      charged_at = &schedule.charged_at;
+      round_delay = schedule.longest_delay();
+      round_wait = schedule.total_wait();
+    }
 
     ++result.rounds;
     result.round_batch_size.add(static_cast<double>(batch.size()));
-    const double round_delay = schedule.longest_delay();
     result.round_longest_delay_s.add(round_delay);
-    result.total_conflict_wait_s += schedule.total_wait();
+    result.total_conflict_wait_s += round_wait;
 
     // Apply charge completions.
     std::size_t charged_count = 0;
     for (std::size_t i = 0; i < batch.size(); ++i) {
-      if (schedule.charged_at[i] == sched::kNeverCharged) continue;
+      if ((*charged_at)[i] == sched::kNeverCharged) continue;
       const std::uint32_t v = batch[i];
-      const double done = dispatch + schedule.charged_at[i];
+      const double done = dispatch + (*charged_at)[i];
       // Dead-time accounting up to the charge completion (or horizon).
       advance_one(v, std::min(done, horizon));
       if (state.dead_since[v] != kInf) {
@@ -301,11 +410,21 @@ SimResult simulate(const model::WrsnInstance& instance,
     }
     result.sensors_charged += charged_count;
     if (config.record_rounds) {
-      result.rounds_log.push_back({dispatch, batch.size(), charged_count,
-                                   round_delay, schedule.total_wait()});
+      round_log.dispatch_time = dispatch;
+      round_log.batch = batch.size();
+      round_log.charged = charged_count;
+      round_log.longest_delay_s = round_delay;
+      round_log.wait_s = round_wait;
+      result.rounds_log.push_back(round_log);
     }
 
     if (round_delay > 0.0) {
+      if (dispatch + round_delay > horizon) {
+        // The period ended while the fleet was still out: this round's
+        // contribution is censored at the horizon.
+        result.truncated = true;
+        result.truncated_reason = TruncationReason::kHorizonMidRound;
+      }
       busy_seconds += std::min(dispatch + round_delay, horizon) - dispatch;
       fleet_ready = dispatch + round_delay;
     } else {

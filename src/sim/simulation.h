@@ -22,8 +22,10 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/replan.h"
 #include "model/network.h"
 #include "schedule/scheduler.h"
+#include "sim/faults.h"
 #include "util/stats.h"
 
 namespace mcharge::sim {
@@ -70,6 +72,13 @@ struct SimConfig {
   /// every value produces bit-identical SimResults — the planner writes
   /// each segment into its own slot and reduces in index order.
   std::size_t plan_jobs = 0;
+  /// Deterministic fault injection (sim/faults.h). All rates default to
+  /// zero; a zero-rate config takes exactly the fault-free code path, so
+  /// its SimResult is byte-identical to a run without the fault layer.
+  FaultConfig faults;
+  /// What to do with the stops orphaned when an MCV breaks down mid-tour
+  /// (core/replan.h). Irrelevant while faults.mcv_breakdown_prob == 0.
+  core::RecoveryPolicy recovery = core::RecoveryPolicy::kDefer;
 };
 
 /// One charging round as seen by the base station.
@@ -79,6 +88,17 @@ struct RoundLog {
   std::size_t charged = 0;      ///< sensors actually charged
   double longest_delay_s = 0.0; ///< max_k T'(k) of the round
   double wait_s = 0.0;          ///< conflict waiting within the round
+  std::size_t breakdowns = 0;   ///< MCVs that failed this round
+  std::size_t recovered = 0;    ///< orphaned sensors charged anyway
+  std::size_t deferred = 0;     ///< orphaned sensors pushed to next round
+  double extra_delay_s = 0.0;   ///< recovery delay added this round
+};
+
+/// Why a simulation stopped before cleanly exhausting its horizon.
+enum class TruncationReason {
+  kNone,            ///< ran to the end of the monitoring period
+  kMaxRounds,       ///< hit SimConfig::max_rounds — results are partial
+  kHorizonMidRound, ///< the period ended while the fleet was still out
 };
 
 struct SimResult {
@@ -108,6 +128,17 @@ struct SimResult {
   /// the queue building month over month.
   std::vector<double> dead_seconds_by_month;
   std::vector<RoundLog> rounds_log;     ///< filled iff config.record_rounds
+  /// True when the run stopped early (see truncated_reason). Aggregates
+  /// (dead time, delays) then cover only the simulated prefix; figure
+  /// benches assert the reason is never kMaxRounds before plotting.
+  bool truncated = false;
+  TruncationReason truncated_reason = TruncationReason::kNone;
+  // --- Fault-layer accounting (all zero in a fault-free run). ---
+  std::size_t mcv_breakdowns = 0;   ///< MCV failures over the period
+  std::size_t sensors_failed = 0;   ///< sensors that died permanently
+  std::size_t recovered_sensors = 0;  ///< orphans charged by recovery
+  std::size_t deferred_sensors = 0;   ///< orphans pushed to a later round
+  double extra_recovery_delay_s = 0.0;  ///< total delay added by recovery
 
   double mean_longest_delay_hours() const {
     return round_longest_delay_s.mean() / 3600.0;

@@ -1,0 +1,71 @@
+// A minimal std::expected-style result type (C++20; std::expected is
+// C++23). Holds either a value T or an error E. Used by the up-front
+// input validators (sim/validate.h, model/charging_problem.h) so callers
+// can branch on structured errors instead of tripping asserts or UB deep
+// inside the round loop.
+#pragma once
+
+#include <utility>
+#include <variant>
+
+#include "util/assert.h"
+
+namespace mcharge {
+
+/// Tag wrapper marking an error value for Expected's converting
+/// constructor (mirrors std::unexpected).
+template <typename E>
+struct Unexpected {
+  E error;
+};
+
+template <typename E>
+Unexpected<std::decay_t<E>> make_unexpected(E&& error) {
+  return {std::forward<E>(error)};
+}
+
+/// Either a T (success) or an E (failure). Accessors assert on misuse,
+/// matching the repo's fail-fast invariant style.
+template <typename T, typename E>
+class Expected {
+ public:
+  Expected(T value) : state_(std::in_place_index<0>, std::move(value)) {}
+  Expected(Unexpected<E> error)
+      : state_(std::in_place_index<1>, std::move(error.error)) {}
+
+  bool has_value() const { return state_.index() == 0; }
+  explicit operator bool() const { return has_value(); }
+
+  T& value() {
+    MCHARGE_ASSERT(has_value(), "Expected::value() on an error");
+    return std::get<0>(state_);
+  }
+  const T& value() const {
+    MCHARGE_ASSERT(has_value(), "Expected::value() on an error");
+    return std::get<0>(state_);
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  E& error() {
+    MCHARGE_ASSERT(!has_value(), "Expected::error() on a value");
+    return std::get<1>(state_);
+  }
+  const E& error() const {
+    MCHARGE_ASSERT(!has_value(), "Expected::error() on a value");
+    return std::get<1>(state_);
+  }
+
+  template <typename U>
+  T value_or(U&& fallback) const {
+    return has_value() ? std::get<0>(state_)
+                       : static_cast<T>(std::forward<U>(fallback));
+  }
+
+ private:
+  std::variant<T, E> state_;
+};
+
+}  // namespace mcharge

@@ -4,7 +4,11 @@
 // verifier-clean schedule.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <limits>
+#include <string>
 
 #include "baselines/aa.h"
 #include "baselines/greedy_cover.h"
@@ -12,6 +16,7 @@
 #include "baselines/kminmax.h"
 #include "baselines/netwrap.h"
 #include "core/appro.h"
+#include "io/instance_io.h"
 #include "schedule/execute.h"
 #include "schedule/verify.h"
 #include "sim/simulation.h"
@@ -174,6 +179,126 @@ TEST(Fuzz, RandomizedParameterSweep) {
     p.set_residual_lifetimes(std::move(life));
     expect_clean(p, "random sweep");
   }
+}
+
+// ---------- malformed instance/round files ----------
+//
+// The loaders are the trust boundary for external data: every malformed
+// file must come back as nullopt with a non-empty error, never as a crash
+// or a silently-wrong instance.
+
+constexpr const char* kGoodConfig =
+    "config,100,100,50,50,0,0,10000,2.7,5,1,3,0.2\n";
+
+std::string write_fuzz_file(const std::string& name,
+                            const std::string& body) {
+  const std::string path = ::testing::TempDir() + "/fuzz_" + name + ".csv";
+  std::ofstream out(path);
+  out << body;
+  return path;
+}
+
+void expect_instance_rejected(const std::string& name,
+                              const std::string& body) {
+  const std::string path = write_fuzz_file(name, body);
+  std::string error;
+  const auto instance = io::read_instance_csv(path, &error);
+  EXPECT_FALSE(instance.has_value()) << name;
+  EXPECT_FALSE(error.empty()) << name;
+  std::remove(path.c_str());
+}
+
+TEST(FuzzIo, MalformedInstanceFilesAreRejected) {
+  const std::string good_sensor = "sensor,10,20,5,0.5\n";
+  // Short and long sensor rows.
+  expect_instance_rejected("short_row",
+                           std::string(kGoodConfig) + "sensor,10,20,5\n");
+  expect_instance_rejected(
+      "long_row", std::string(kGoodConfig) + "sensor,0,10,20,5,0.5,99\n");
+  // NaN / Inf fields in positions and physics.
+  expect_instance_rejected(
+      "nan_position", std::string(kGoodConfig) + "sensor,nan,20,5,0.5\n");
+  expect_instance_rejected(
+      "inf_position", std::string(kGoodConfig) + "sensor,10,inf,5,0.5\n");
+  expect_instance_rejected(
+      "nan_consumption", std::string(kGoodConfig) + "sensor,10,20,5,nan\n");
+  expect_instance_rejected(
+      "negative_rate", std::string(kGoodConfig) + "sensor,10,20,-5,0.5\n");
+  expect_instance_rejected(
+      "nan_config",
+      "config,100,100,50,50,0,0,nan,2.7,5,1,3,0.2\n" + good_sensor);
+  // Duplicate / out-of-order v2 sensor ids.
+  expect_instance_rejected("dup_id", std::string(kGoodConfig) +
+                                         "sensor,0,10,20,5,0.5\n"
+                                         "sensor,0,30,40,5,0.5\n");
+  expect_instance_rejected("skipped_id", std::string(kGoodConfig) +
+                                             "sensor,0,10,20,5,0.5\n"
+                                             "sensor,2,30,40,5,0.5\n");
+  expect_instance_rejected(
+      "fractional_id", std::string(kGoodConfig) + "sensor,0.5,10,20,5,0.5\n");
+  // Trailing garbage after a number ("1.5abc" must not parse as 1.5).
+  expect_instance_rejected(
+      "trailing_garbage",
+      std::string(kGoodConfig) + "sensor,10abc,20,5,0.5\n");
+  // Config-line problems.
+  expect_instance_rejected("no_config", good_sensor);
+  expect_instance_rejected("dup_config", std::string(kGoodConfig) +
+                                             std::string(kGoodConfig) +
+                                             good_sensor);
+  expect_instance_rejected(
+      "zero_speed",
+      "config,100,100,50,50,0,0,10000,2.7,5,0,3,0.2\n" + good_sensor);
+  expect_instance_rejected(
+      "fractional_k",
+      "config,100,100,50,50,0,0,10000,2.7,5,1,2.5,0.2\n" + good_sensor);
+  expect_instance_rejected(
+      "bad_threshold",
+      "config,100,100,50,50,0,0,10000,2.7,5,1,3,1.5\n" + good_sensor);
+}
+
+TEST(FuzzIo, MalformedRoundFilesAreRejected) {
+  const char* cases[][2] = {
+      {"short", "10,20\n"},
+      {"long", "10,20,500,100,7\n"},
+      {"nan_pos", "nan,20,500\n"},
+      {"inf_deficit", "10,20,inf\n"},
+      {"neg_deficit", "10,20,-500\n"},
+      {"nan_lifetime", "10,20,500,nan\n"},
+      {"neg_lifetime", "10,20,500,-1\n"},
+      {"garbage", "10,20,5x0\n"},
+      {"mixed_lifetimes", "10,20,500,100\n30,40,500\n"},
+      {"empty", "# mcharge-round v1\n"},
+  };
+  for (const auto& c : cases) {
+    const std::string path = write_fuzz_file(std::string("round_") + c[0],
+                                             c[1]);
+    std::string error;
+    const auto round = io::read_round_csv(path, &error);
+    EXPECT_FALSE(round.has_value()) << c[0];
+    EXPECT_FALSE(error.empty()) << c[0];
+    std::remove(path.c_str());
+  }
+}
+
+TEST(FuzzIo, V2SensorRowsWithCorrectIdsLoad) {
+  const std::string path = write_fuzz_file("v2_good",
+                                           std::string(kGoodConfig) +
+                                               "sensor,0,10,20,5,0.5\n"
+                                               "sensor,1,30,40,6,0.6\n");
+  std::string error;
+  const auto instance = io::read_instance_csv(path, &error);
+  ASSERT_TRUE(instance.has_value()) << error;
+  EXPECT_EQ(instance->num_sensors(), 2u);
+  EXPECT_DOUBLE_EQ(instance->positions[1].x, 30.0);
+  EXPECT_DOUBLE_EQ(instance->consumption_w[1], 0.6);
+  // +inf lifetime is legal in round files (a sensor that never drains).
+  const std::string rpath =
+      write_fuzz_file("round_inf_life", "10,20,500,inf\n");
+  const auto round = io::read_round_csv(rpath, &error);
+  ASSERT_TRUE(round.has_value()) << error;
+  EXPECT_TRUE(std::isinf(round->residual_lifetime_s[0]));
+  std::remove(path.c_str());
+  std::remove(rpath.c_str());
 }
 
 TEST(Fuzz, SimulatorSurvivesHarshConfigs) {

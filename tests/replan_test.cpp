@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
 
 #include "core/appro.h"
 #include "core/replan.h"
@@ -168,6 +171,194 @@ TEST(Replan, StartsFromCurrentPositionsSavesTravel) {
   ASSERT_FALSE(new_schedule.mcvs[0].sojourns.empty());
   EXPECT_LT(new_schedule.mcvs[0].sojourns[0].arrival, 15.0);
 }
+
+// ---------- failure-aware execution ----------
+
+TEST(Faults, BreakdownAtDispatchAbortsBeforeFirstStop) {
+  ChargingProblem p({{10, 0}, {40, 0}}, {100.0, 100.0}, {0, 0}, 2.7, 1.0, 1);
+  sched::ChargingPlan plan;
+  plan.tours = {{0, 1}};
+  sched::ExecutionFaults faults;
+  faults.breakdown_after = {0};
+  const auto schedule = sched::execute_plan(p, plan, faults);
+  ASSERT_TRUE(schedule.mcvs[0].aborted);
+  EXPECT_TRUE(schedule.mcvs[0].sojourns.empty());
+  EXPECT_DOUBLE_EQ(schedule.mcvs[0].return_time, 0.0);
+  EXPECT_EQ(schedule.mcvs[0].skipped, (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_TRUE(schedule.partial());
+  EXPECT_EQ(schedule.num_aborted(), 1u);
+  EXPECT_FALSE(schedule.all_charged());
+  sched::VerifyOptions options;
+  options.require_full_coverage = false;
+  options.allow_partial = true;
+  options.faults = &faults;
+  const auto violations = sched::verify_schedule(p, schedule, options);
+  EXPECT_TRUE(violations.empty()) << (violations.empty() ? "" : violations[0]);
+}
+
+TEST(Faults, BreakdownBeforeLastStopKeepsCompletedPrefix) {
+  ChargingProblem p({{10, 0}, {40, 0}, {70, 0}}, {100.0, 100.0, 100.0},
+                    {0, 0}, 2.7, 1.0, 1);
+  sched::ChargingPlan plan;
+  plan.tours = {{0, 1, 2}};
+  sched::ExecutionFaults faults;
+  faults.breakdown_after = {2};  // fails after its second sojourn
+  const auto schedule = sched::execute_plan(p, plan, faults);
+  ASSERT_TRUE(schedule.mcvs[0].aborted);
+  ASSERT_EQ(schedule.mcvs[0].sojourns.size(), 2u);
+  // return_time is the moment execution stopped: the last finish, with no
+  // depot leg (10 + 100 travel+charge at 0, then 30 + 100 at 1).
+  EXPECT_DOUBLE_EQ(schedule.mcvs[0].return_time, 240.0);
+  EXPECT_EQ(schedule.mcvs[0].skipped, (std::vector<std::uint32_t>{2}));
+  EXPECT_EQ(schedule.charged_at[2], sched::kNeverCharged);
+  sched::VerifyOptions options;
+  options.require_full_coverage = false;
+  options.allow_partial = true;
+  options.faults = &faults;
+  EXPECT_TRUE(sched::verify_schedule(p, schedule, options).empty());
+}
+
+TEST(Faults, TravelAndChargeJitterRescaleTheTimeline) {
+  ChargingProblem p({{10, 0}}, {100.0}, {0, 0}, 2.7, 1.0, 1);
+  sched::ChargingPlan plan;
+  plan.tours = {{0}};
+  sched::ExecutionFaults faults;
+  faults.travel_multiplier = [](std::uint32_t, std::size_t leg) {
+    return leg == 0 ? 2.0 : 0.5;  // slow leg out, fast leg home
+  };
+  faults.charge_multiplier = [](std::uint32_t) { return 1.5; };
+  const auto schedule = sched::execute_plan(p, plan, faults);
+  ASSERT_EQ(schedule.mcvs[0].sojourns.size(), 1u);
+  EXPECT_DOUBLE_EQ(schedule.mcvs[0].sojourns[0].arrival, 20.0);
+  EXPECT_DOUBLE_EQ(schedule.mcvs[0].sojourns[0].finish, 20.0 + 150.0);
+  EXPECT_DOUBLE_EQ(schedule.mcvs[0].return_time, 170.0 + 5.0);
+  EXPECT_FALSE(schedule.partial());
+  sched::VerifyOptions options;
+  options.faults = &faults;
+  EXPECT_TRUE(sched::verify_schedule(p, schedule, options).empty());
+  // The same execution verified WITHOUT the fault bundle must fail: the
+  // checker really is re-deriving times through the multipliers.
+  EXPECT_FALSE(sched::verify_schedule(p, schedule).empty());
+}
+
+TEST(Faults, EmptyBundleIsByteIdenticalToPlainExecution) {
+  Rng rng(17);
+  const auto p = random_problem(60, 2, rng);
+  ApproScheduler appro;
+  const auto plan = appro.plan(p);
+  const auto plain = sched::execute_plan(p, plan);
+  const auto with_faults = sched::execute_plan(p, plan, sched::ExecutionFaults{});
+  ASSERT_EQ(plain.mcvs.size(), with_faults.mcvs.size());
+  for (std::size_t k = 0; k < plain.mcvs.size(); ++k) {
+    ASSERT_EQ(plain.mcvs[k].sojourns.size(),
+              with_faults.mcvs[k].sojourns.size());
+    for (std::size_t i = 0; i < plain.mcvs[k].sojourns.size(); ++i) {
+      EXPECT_EQ(std::memcmp(&plain.mcvs[k].sojourns[i].arrival,
+                            &with_faults.mcvs[k].sojourns[i].arrival,
+                            sizeof(double)),
+                0);
+      EXPECT_EQ(std::memcmp(&plain.mcvs[k].sojourns[i].finish,
+                            &with_faults.mcvs[k].sojourns[i].finish,
+                            sizeof(double)),
+                0);
+    }
+    EXPECT_EQ(std::memcmp(&plain.mcvs[k].return_time,
+                          &with_faults.mcvs[k].return_time, sizeof(double)),
+              0);
+  }
+  EXPECT_EQ(plain.charged_at, with_faults.charged_at);
+}
+
+// ---------- recovery policies ----------
+
+TEST(Recovery, NoBreakdownIsJustTheExecutedSchedule) {
+  Rng rng(21);
+  const auto p = random_problem(40, 2, rng);
+  ApproScheduler appro;
+  const auto plan = appro.plan(p);
+  const auto outcome =
+      recover_round(p, plan, sched::ExecutionFaults{}, RecoveryPolicy::kGraft);
+  EXPECT_FALSE(outcome.has_recovery);
+  EXPECT_EQ(outcome.stats.breakdowns, 0u);
+  EXPECT_EQ(outcome.stats.orphaned_sensors, 0u);
+  EXPECT_TRUE(outcome.primary.all_charged());
+  EXPECT_DOUBLE_EQ(outcome.longest_delay(),
+                   outcome.primary.longest_delay());
+}
+
+TEST(Recovery, AllMcvsFailedFallsBackToDefer) {
+  Rng rng(22);
+  const auto p = random_problem(40, 2, rng);
+  ApproScheduler appro;
+  const auto plan = appro.plan(p);
+  sched::ExecutionFaults faults;
+  faults.breakdown_after = {0, 0};  // the whole fleet dies at dispatch
+  for (RecoveryPolicy policy :
+       {RecoveryPolicy::kDefer, RecoveryPolicy::kGraft,
+        RecoveryPolicy::kReplan}) {
+    const auto outcome = recover_round(p, plan, faults, policy);
+    EXPECT_FALSE(outcome.has_recovery);
+    EXPECT_EQ(outcome.stats.breakdowns, 2u);
+    EXPECT_EQ(outcome.stats.recovered_sensors, 0u);
+    EXPECT_EQ(outcome.stats.deferred_sensors, outcome.stats.orphaned_sensors);
+    EXPECT_GT(outcome.stats.orphaned_sensors, 0u);
+    EXPECT_EQ(outcome.primary.num_aborted(), 2u);
+  }
+}
+
+class RecoveryProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RecoveryProperty, GraftAndReplanVerifyCleanAndRescueOrphans) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 911 + 3);
+  const std::size_t n = 40 + rng.below(80);
+  const std::size_t k = 2 + rng.below(2);
+  const auto p = random_problem(n, k, rng);
+  ApproScheduler appro;
+  const auto plan = appro.plan(p);
+
+  // Break one MCV partway through its tour; leave the rest alive.
+  sched::ExecutionFaults faults;
+  faults.breakdown_after.assign(k, sched::ExecutionFaults::kNoBreakdown);
+  const std::size_t victim = rng.below(k);
+  const std::size_t tour_len = plan.tours[victim].size();
+  if (tour_len == 0) GTEST_SKIP() << "victim drew an empty tour";
+  faults.breakdown_after[victim] =
+      static_cast<std::uint32_t>(rng.below(tour_len));
+
+  const auto broken =
+      recover_round(p, plan, faults, RecoveryPolicy::kDefer);
+  for (RecoveryPolicy policy :
+       {RecoveryPolicy::kGraft, RecoveryPolicy::kReplan}) {
+    const auto outcome = recover_round(p, plan, faults, policy);
+    SCOPED_TRACE(policy == RecoveryPolicy::kGraft ? "graft" : "replan");
+    EXPECT_EQ(outcome.stats.breakdowns, 1u);
+    // The primary (partial) schedule must verify under the fault bundle.
+    sched::VerifyOptions options;
+    options.require_full_coverage = false;
+    options.allow_partial = true;
+    options.faults = &faults;
+    auto violations = sched::verify_schedule(p, outcome.primary, options);
+    EXPECT_TRUE(violations.empty())
+        << (violations.empty() ? "" : violations[0]);
+    // The recovery wave (if any) is a fault-free full schedule of its
+    // sub-problem.
+    if (outcome.has_recovery) {
+      violations = sched::verify_schedule(outcome.replan.subproblem,
+                                          outcome.recovery);
+      EXPECT_TRUE(violations.empty())
+          << (violations.empty() ? "" : violations[0]);
+    }
+    // Every orphan is either recovered this round or deferred; recovery
+    // never loses sensors.
+    EXPECT_EQ(outcome.stats.recovered_sensors + outcome.stats.deferred_sensors,
+              outcome.stats.orphaned_sensors);
+    // Rescuing orphans cannot beat the broken round's delay.
+    EXPECT_GE(outcome.longest_delay(), broken.longest_delay() - 1e-9);
+    EXPECT_GE(outcome.stats.extra_delay_s, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecoveryProperty, ::testing::Range(0, 10));
 
 }  // namespace
 }  // namespace mcharge::core

@@ -10,96 +10,16 @@
 // falling back to the serial path.
 #include <gtest/gtest.h>
 
-#include <cstring>
 #include <vector>
 
 #include "core/appro.h"
 #include "sim/simulation.h"
+#include "sim_compare.h"
 #include "util/rng.h"
 #include "util/simd.h"
 
 namespace mcharge::sim {
 namespace {
-
-/// Pins a backend for a scope; restores the previous one on exit.
-class BackendGuard {
- public:
-  explicit BackendGuard(simd::Backend b) : prev_(simd::active_backend()) {
-    active_ = simd::set_backend(b);
-  }
-  ~BackendGuard() { simd::set_backend(prev_); }
-  simd::Backend active() const { return active_; }
-
- private:
-  simd::Backend prev_;
-  simd::Backend active_;
-};
-
-std::vector<simd::Backend> supported_backends() {
-  std::vector<simd::Backend> out{simd::Backend::kScalar};
-  for (simd::Backend b : {simd::Backend::kAvx2, simd::Backend::kAvx512}) {
-    BackendGuard guard(b);
-    if (guard.active() == b) out.push_back(b);
-  }
-  return out;
-}
-
-/// Bitwise equality for doubles (EXPECT_EQ would treat -0.0 == 0.0 and
-/// could be fooled by NaN; the contract is stronger).
-::testing::AssertionResult bits_eq(const char* a_expr, const char* b_expr,
-                                   double a, double b) {
-  if (std::memcmp(&a, &b, sizeof(double)) == 0) {
-    return ::testing::AssertionSuccess();
-  }
-  return ::testing::AssertionFailure()
-         << a_expr << " and " << b_expr << " differ bitwise: " << a
-         << " vs " << b;
-}
-
-#define EXPECT_BITS_EQ(a, b) EXPECT_PRED_FORMAT2(bits_eq, a, b)
-
-void expect_stats_identical(const RunningStats& a, const RunningStats& b) {
-  EXPECT_EQ(a.count(), b.count());
-  EXPECT_BITS_EQ(a.sum(), b.sum());
-  EXPECT_BITS_EQ(a.mean(), b.mean());
-  EXPECT_BITS_EQ(a.variance(), b.variance());
-  EXPECT_BITS_EQ(a.min(), b.min());
-  EXPECT_BITS_EQ(a.max(), b.max());
-}
-
-void expect_results_identical(const SimResult& a, const SimResult& b) {
-  EXPECT_EQ(a.rounds, b.rounds);
-  EXPECT_EQ(a.sensors_charged, b.sensors_charged);
-  EXPECT_BITS_EQ(a.total_dead_seconds, b.total_dead_seconds);
-  EXPECT_BITS_EQ(a.mean_dead_minutes_per_sensor,
-                 b.mean_dead_minutes_per_sensor);
-  expect_stats_identical(a.round_longest_delay_s, b.round_longest_delay_s);
-  expect_stats_identical(a.round_batch_size, b.round_batch_size);
-  expect_stats_identical(a.request_latency_s, b.request_latency_s);
-  EXPECT_BITS_EQ(a.total_conflict_wait_s, b.total_conflict_wait_s);
-  EXPECT_EQ(a.verify_violations, b.verify_violations);
-  EXPECT_BITS_EQ(a.busy_fraction, b.busy_fraction);
-  ASSERT_EQ(a.dead_seconds_per_sensor.size(), b.dead_seconds_per_sensor.size());
-  EXPECT_EQ(0, std::memcmp(a.dead_seconds_per_sensor.data(),
-                           b.dead_seconds_per_sensor.data(),
-                           a.dead_seconds_per_sensor.size() * sizeof(double)));
-  ASSERT_EQ(a.charges_per_sensor.size(), b.charges_per_sensor.size());
-  EXPECT_EQ(a.charges_per_sensor, b.charges_per_sensor);
-  ASSERT_EQ(a.dead_seconds_by_month.size(), b.dead_seconds_by_month.size());
-  EXPECT_EQ(0, std::memcmp(a.dead_seconds_by_month.data(),
-                           b.dead_seconds_by_month.data(),
-                           a.dead_seconds_by_month.size() * sizeof(double)));
-  ASSERT_EQ(a.rounds_log.size(), b.rounds_log.size());
-  for (std::size_t i = 0; i < a.rounds_log.size(); ++i) {
-    EXPECT_BITS_EQ(a.rounds_log[i].dispatch_time,
-                   b.rounds_log[i].dispatch_time);
-    EXPECT_EQ(a.rounds_log[i].batch, b.rounds_log[i].batch);
-    EXPECT_EQ(a.rounds_log[i].charged, b.rounds_log[i].charged);
-    EXPECT_BITS_EQ(a.rounds_log[i].longest_delay_s,
-                   b.rounds_log[i].longest_delay_s);
-    EXPECT_BITS_EQ(a.rounds_log[i].wait_s, b.rounds_log[i].wait_s);
-  }
-}
 
 struct Variant {
   double dispatch_epoch_s;
