@@ -27,6 +27,7 @@
 #include "model/charging_problem.h"
 #include "schedule/execute.h"
 #include "schedule/verify.h"
+#include "trace_common.h"
 #include "util/cli.h"
 #include "util/parallel.h"
 #include "util/rng.h"
@@ -57,6 +58,7 @@ struct Variant {
 
 int main(int argc, char** argv) {
   const CliFlags flags(argc, argv);
+  const bench::TraceOutput trace(flags);
   const auto n = static_cast<std::size_t>(flags.get_int("n", 1000));
   const auto k = static_cast<std::size_t>(flags.get_int("chargers", 2));
   const auto rounds = static_cast<std::size_t>(flags.get_int("rounds", 10));

@@ -27,6 +27,7 @@
 #include "core/appro.h"
 #include "model/network.h"
 #include "sim/simulation.h"
+#include "trace_common.h"
 #include "util/cli.h"
 #include "util/parallel.h"
 #include "util/rng.h"
@@ -36,6 +37,7 @@
 int main(int argc, char** argv) {
   using namespace mcharge;
   const CliFlags flags(argc, argv);
+  const bench::TraceOutput trace(flags);
   const auto n = static_cast<std::size_t>(flags.get_int("n", 1000));
   const auto k = static_cast<std::size_t>(flags.get_int("chargers", 2));
   const auto instances =

@@ -24,6 +24,7 @@
 #include "core/replan.h"
 #include "model/network.h"
 #include "sim/simulation.h"
+#include "trace_common.h"
 #include "util/cli.h"
 #include "util/parallel.h"
 #include "util/rng.h"
@@ -32,6 +33,7 @@
 int main(int argc, char** argv) {
   using namespace mcharge;
   const CliFlags flags(argc, argv);
+  const bench::TraceOutput trace(flags);
   const auto n = static_cast<std::size_t>(flags.get_int("n", 400));
   const auto k = static_cast<std::size_t>(flags.get_int("chargers", 3));
   const auto instances =

@@ -4,10 +4,12 @@
 //
 // Extra flags: --nmin=200 --nmax=1200 --nstep=200 --chargers=2
 #include "figure_common.h"
+#include "trace_common.h"
 
 int main(int argc, char** argv) {
   using namespace mcharge;
   const CliFlags flags(argc, argv);
+  const bench::TraceOutput trace(flags);
   const auto settings = bench::SweepSettings::from_flags(flags);
   const auto n_min = static_cast<std::size_t>(flags.get_int("nmin", 200));
   const auto n_max = static_cast<std::size_t>(flags.get_int("nmax", 1200));

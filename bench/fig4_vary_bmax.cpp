@@ -5,10 +5,12 @@
 //
 // Extra flags: --n=1000 --chargers=2
 #include "figure_common.h"
+#include "trace_common.h"
 
 int main(int argc, char** argv) {
   using namespace mcharge;
   const CliFlags flags(argc, argv);
+  const bench::TraceOutput trace(flags);
   const auto settings = bench::SweepSettings::from_flags(flags);
   const auto n = static_cast<std::size_t>(flags.get_int("n", 1000));
   const auto k = static_cast<std::size_t>(flags.get_int("chargers", 2));

@@ -4,6 +4,9 @@
 // scheduling at the paper's instance sizes.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "assignment/hungarian.h"
 #include "cluster/kmeans.h"
 #include "core/appro.h"
@@ -19,6 +22,7 @@
 #include "matching/blossom.h"
 #include "matching/matching.h"
 #include "model/charging_problem.h"
+#include "obs/obs.h"
 #include "schedule/execute.h"
 #include "tsp/construct.h"
 #include "tsp/exact.h"
@@ -547,6 +551,59 @@ BENCHMARK(BM_Simulate)
     ->Args({5000, 0})
     ->Unit(benchmark::kMillisecond);
 
+void BM_ObsOverhead(benchmark::State& state) {
+  // Cost of the tracing layer on an instrumented end-to-end workload:
+  // arg0 = 0 runs a full Appro plan with tracing off (only the per-site
+  // static-init branch in the path), arg0 = 1 with tracing on (clock
+  // reads + relaxed atomics at every span/counter). The contract is that
+  // the enabled/disabled ratio stays within noise (< 1% overhead) —
+  // scripts/check_trace.sh regression-checks exactly this pair. Under
+  // -DMCHARGE_NO_OBS both variants time the macro-free binary.
+  Rng rng(31);
+  const auto pts = geom::uniform_field(400, 100.0, 100.0, rng);
+  std::vector<double> deficits;
+  deficits.reserve(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    deficits.push_back(rng.uniform(3456.0, 5400.0));
+  }
+  auto pts_copy = pts;
+  const model::ChargingProblem problem(std::move(pts_copy),
+                                       std::move(deficits), {50.0, 50.0},
+                                       2.7, 1.0, 3);
+  obs::reset();
+  const obs::EnabledScope scope(state.range(0) != 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::ApproScheduler().plan(problem));
+  }
+}
+BENCHMARK(BM_ObsOverhead)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// google-benchmark owns argv (and rejects unknown --flags), so the
+// tracing hookup rides on the environment instead: MCHARGE_TRACE_OUT=PATH
+// enables the obs layer for the whole run and writes the accumulated
+// TraceReport as mcharge.trace.v1 JSON on exit. scripts/check_trace.sh
+// uses this to diff span timings against the benches measuring the same
+// code (e.g. appro.plan vs BM_ApproPlan).
+int main(int argc, char** argv) {
+  const char* trace_out = std::getenv("MCHARGE_TRACE_OUT");
+  if (trace_out != nullptr && trace_out[0] != '\0') {
+    mcharge::obs::reset();
+    mcharge::obs::set_enabled(true);
+  }
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  if (trace_out != nullptr && trace_out[0] != '\0') {
+    mcharge::obs::set_enabled(false);
+    if (mcharge::obs::write_trace_json(trace_out)) {
+      std::fprintf(stderr, "trace: wrote %s\n", trace_out);
+    } else {
+      std::fprintf(stderr, "trace: FAILED to write %s\n", trace_out);
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// --trace-out=PATH support for the figure / ablation / fault benches.
+//
+// Constructing a TraceOutput from the parsed CliFlags turns the tracing
+// layer (src/obs) on for the rest of main() when the flag is present; on
+// destruction the accumulated TraceReport is written as versioned JSON
+// (schema "mcharge.trace.v1") to PATH and a one-line note goes to stderr.
+// stdout is never touched, so the benches' CSV/figure output is
+// unchanged — and because observation is behavioral no-op by contract
+// (see tests/obs_test.cpp), the numbers in that output are too. Without
+// the flag (or under -DMCHARGE_NO_OBS=ON, where the report is empty and
+// tracing is compiled out) this is inert.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "obs/obs.h"
+#include "util/cli.h"
+
+namespace mcharge::bench {
+
+class TraceOutput {
+ public:
+  explicit TraceOutput(const CliFlags& flags)
+      : path_(flags.get("trace-out", "")) {
+    if (!path_.empty()) {
+      obs::reset();
+      obs::set_enabled(true);
+    }
+  }
+
+  ~TraceOutput() {
+    if (path_.empty()) return;
+    obs::set_enabled(false);
+    if (obs::write_trace_json(path_)) {
+      std::fprintf(stderr, "trace: wrote %s\n", path_.c_str());
+    } else {
+      std::fprintf(stderr, "trace: FAILED to write %s\n", path_.c_str());
+    }
+  }
+
+  TraceOutput(const TraceOutput&) = delete;
+  TraceOutput& operator=(const TraceOutput&) = delete;
+
+ private:
+  std::string path_;
+};
+
+}  // namespace mcharge::bench

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "core/overlap_graph.h"
+#include "obs/obs.h"
 #include "util/assert.h"
 #include "util/parallel.h"
 #include "util/simd.h"
@@ -176,24 +177,41 @@ sched::ChargingPlan ApproScheduler::plan_with_stats(
                      options_.h_mis_order != graph::MisOrder::kRandom,
                  "Appro is deterministic; use kIndex/kMinDegree/kPriority");
 
+  OBS_SPAN("appro.plan");
+
   // Steps 1-2: charging graph and its MIS S_I. Priority orders use the
   // worst-case sojourn time tau(v) as the key (urgent locations first).
-  const graph::Graph gc = charging_graph(problem);
+  graph::Graph gc;
   std::vector<double> tau_key(n);
-  for (std::uint32_t v = 0; v < n; ++v) tau_key[v] = problem.tau(v);
-  const std::vector<graph::Vertex> s_i = graph::maximal_independent_set(
-      gc, options_.gc_mis_order, &tau_key, nullptr);
-  MCHARGE_ASSERT(graph::is_maximal_independent_set(gc, s_i),
-                 "S_I must be a maximal independent set of G_c");
+  std::vector<graph::Vertex> s_i;
+  {
+    OBS_SPAN("appro.charging_graph_mis");
+    gc = charging_graph(problem);
+    for (std::uint32_t v = 0; v < n; ++v) tau_key[v] = problem.tau(v);
+    s_i = graph::maximal_independent_set(gc, options_.gc_mis_order, &tau_key,
+                                         nullptr);
+    MCHARGE_ASSERT(graph::is_maximal_independent_set(gc, s_i),
+                   "S_I must be a maximal independent set of G_c");
+  }
 
   // Step 3: overlap graph H on S_I (vertex i of H is s_i[i]).
-  const graph::Graph h = overlap_graph(problem, s_i);
+  graph::Graph h;
+  {
+    OBS_SPAN("appro.overlap_graph");
+    h = overlap_graph(problem, s_i);
+  }
 
   // Step 4: MIS V'_H of H.
-  std::vector<double> tau_key_h(s_i.size());
-  for (std::size_t i = 0; i < s_i.size(); ++i) tau_key_h[i] = tau_key[s_i[i]];
-  const std::vector<graph::Vertex> vh_local = graph::maximal_independent_set(
-      h, options_.h_mis_order, &tau_key_h, nullptr);
+  std::vector<graph::Vertex> vh_local;
+  {
+    OBS_SPAN("appro.h_mis");
+    std::vector<double> tau_key_h(s_i.size());
+    for (std::size_t i = 0; i < s_i.size(); ++i) {
+      tau_key_h[i] = tau_key[s_i[i]];
+    }
+    vh_local = graph::maximal_independent_set(h, options_.h_mis_order,
+                                              &tau_key_h, nullptr);
+  }
 
   // Step 5: K min-max closed tours over V'_H with service times tau(v).
   tsp::TourProblem tour_problem;
@@ -209,8 +227,11 @@ sched::ChargingPlan ApproScheduler::plan_with_stats(
   }
   tsp::MinMaxTourOptions tour_options = options_.tour;
   if (tour_options.jobs == 0) tour_options.jobs = options_.jobs;
-  const tsp::SplitResult split =
-      tsp::min_max_k_tours(tour_problem, k, tour_options);
+  tsp::SplitResult split;
+  {
+    OBS_SPAN("appro.k_tours");
+    split = tsp::min_max_k_tours(tour_problem, k, tour_options);
+  }
 
   // Travel memo over the sensors the insertion phase can touch: every
   // tour stop and every insertion candidate is a member of S_I. With a
@@ -219,7 +240,12 @@ sched::ChargingPlan ApproScheduler::plan_with_stats(
   // fill avoids computing rows the insertion never reads.
   std::vector<std::uint32_t> si_sensors(s_i.begin(), s_i.end());
   TravelCache travel(problem, si_sensors);
-  if (options_.jobs > 1) travel.fill_all(options_.jobs);
+  {
+    // Bills the eager sharded fill; serial runs fill lazily on first
+    // touch, which lands in appro.insertion instead.
+    OBS_SPAN("appro.travel_cache");
+    if (options_.jobs > 1) travel.fill_all(options_.jobs);
+  }
 
   // Working tours over sensor ids, with tau' = tau (coverage disks of V'_H
   // nodes are pairwise disjoint, so nothing is double-counted initially).
@@ -255,7 +281,9 @@ sched::ChargingPlan ApproScheduler::plan_with_stats(
 
   // Step 6: insert U = S_I \ V'_H by increasing latest-neighbor finish
   // time f_N (Eq. (8)). H-neighbors are looked up through the H graph
-  // (vertex i of H <-> sensor s_i[i]).
+  // (vertex i of H <-> sensor s_i[i]). The span runs to the end of the
+  // function: final plan assembly is a few pushes.
+  OBS_SPAN("appro.insertion");
   std::vector<char> in_vh(s_i.size(), 0);
   for (graph::Vertex i : vh_local) in_vh[i] = 1;
   std::vector<std::uint32_t> pending;  // indices into s_i

@@ -6,6 +6,7 @@
 
 #include "core/overlap_graph.h"
 #include "graph/mis.h"
+#include "obs/obs.h"
 #include "util/assert.h"
 
 namespace mcharge::core {
@@ -191,6 +192,7 @@ RecoveryOutcome recover_round(const model::ChargingProblem& problem,
                               const sched::ChargingPlan& plan,
                               const sched::ExecutionFaults& faults,
                               RecoveryPolicy policy) {
+  OBS_SPAN("exec.recover_round");
   RecoveryOutcome out;
   out.primary = sched::execute_plan(problem, plan, faults);
   out.stats.breakdowns = out.primary.num_aborted();
@@ -282,7 +284,98 @@ RecoveryOutcome recover_round(const model::ChargingProblem& problem,
               static_cast<std::ptrdiff_t>(best_p),
           o);
     }
-    out.primary = sched::execute_plan(problem, patched, faults);
+    OBS_COUNT("exec.grafted_stops", static_cast<std::int64_t>(
+                                        orphan_stops.size()));
+    // Execute only the part of the patched plan that has not happened
+    // yet. The first cut[k] sojourns of each survivor (and everything an
+    // aborted MCV did) are physical history: re-executing the patched
+    // plan from t = 0 would rewind time — grafted stops could start
+    // before the breakdown was even known, and inserted stops would
+    // shift the fault-leg indices of legs already driven. Instead,
+    // freeze those prefixes and resume each survivor from its prefix's
+    // finish with suffix legs indexed at cut[k] + i, so the merged
+    // schedule reads exactly like one uninterrupted execution.
+    std::vector<char> is_orphan(problem.size(), 0);
+    for (std::uint32_t o : orphan_stops) is_orphan[o] = 1;
+    sched::ChargingPlan suffix;
+    suffix.mode = sched::ChargeMode::kMultiNode;
+    suffix.tours.assign(plan.tours.size(), {});
+    suffix.starts.resize(plan.tours.size());
+    sched::ResumeState resume;
+    resume.depart_at.assign(plan.tours.size(), 0.0);
+    resume.leg_offset.assign(plan.tours.size(), 0);
+    resume.charged.assign(problem.size(), 0);
+    for (std::size_t k = 0; k < plan.tours.size(); ++k) {
+      const auto& mcv = out.primary.mcvs[k];
+      const std::size_t prefix_len =
+          mcv.aborted ? mcv.sojourns.size() : std::min(cut[k],
+                                                       mcv.sojourns.size());
+      for (std::size_t i = 0; i < prefix_len; ++i) {
+        const auto& s = mcv.sojourns[i];
+        for (std::uint32_t u : s.charged) resume.charged[u] = 1;
+        if (s.finish > s.start) {
+          resume.busy.push_back({static_cast<std::uint32_t>(k), s.location,
+                                 s.start, s.finish});
+        }
+      }
+      if (mcv.aborted) continue;  // no suffix; merged output keeps it as is
+      const auto& tour = patched.tours[k];
+      suffix.tours[k].assign(tour.begin() +
+                                 static_cast<std::ptrdiff_t>(prefix_len),
+                             tour.end());
+      suffix.starts[k] =
+          prefix_len == 0
+              ? plan.start_of(k, problem.depot())
+              : problem.position(mcv.sojourns[prefix_len - 1].location);
+      resume.leg_offset[k] = static_cast<std::uint32_t>(prefix_len);
+      resume.depart_at[k] =
+          prefix_len == 0 ? 0.0 : mcv.sojourns[prefix_len - 1].finish;
+      // The base station learns of the breakdown at t1; a survivor can be
+      // sent to a grafted stop no earlier than that. Planned stops of its
+      // own tour need no hold — the MCV was already on its way.
+      if (!suffix.tours[k].empty() && is_orphan[suffix.tours[k][0]]) {
+        resume.depart_at[k] = std::max(resume.depart_at[k], t1);
+      }
+    }
+    // Same jitter draws, but the breakdowns already happened in the
+    // prefix — the suffix must not truncate again.
+    sched::ExecutionFaults resume_faults = faults;
+    resume_faults.breakdown_after.clear();
+    const sched::ChargingSchedule resumed =
+        sched::execute_plan(problem, suffix, resume_faults, resume);
+
+    sched::ChargingSchedule merged;
+    merged.mode = sched::ChargeMode::kMultiNode;
+    merged.starts = out.primary.starts;
+    merged.mcvs.resize(plan.tours.size());
+    merged.charged_at.assign(problem.size(), sched::kNeverCharged);
+    for (std::size_t k = 0; k < plan.tours.size(); ++k) {
+      const auto& orig = out.primary.mcvs[k];
+      auto& m = merged.mcvs[k];
+      if (orig.aborted) {
+        m = orig;
+        continue;
+      }
+      m.sojourns.assign(orig.sojourns.begin(),
+                        orig.sojourns.begin() +
+                            static_cast<std::ptrdiff_t>(
+                                std::min(cut[k], orig.sojourns.size())));
+      if (suffix.tours[k].empty()) {
+        m.sojourns = orig.sojourns;
+        m.return_time = orig.return_time;
+      } else {
+        const auto& res = resumed.mcvs[k];
+        m.sojourns.insert(m.sojourns.end(), res.sojourns.begin(),
+                          res.sojourns.end());
+        m.return_time = res.return_time;
+      }
+    }
+    for (const auto& mcv : merged.mcvs) {
+      for (const auto& s : mcv.sojourns) {
+        for (std::uint32_t u : s.charged) merged.charged_at[u] = s.finish;
+      }
+    }
+    out.primary = std::move(merged);
   } else {
     // kReplan: once the last breakdown is known (t_rec), recall every
     // survivor after the stop it is executing, then run a fresh

@@ -208,6 +208,33 @@ class BlossomCore {
     }
   }
 
+  /// Warm-start entry: seeds labels and matching from a previous solve
+  /// over a subset of this store's edges, then runs the same phases as
+  /// solve(). Preconditions (the caller's bump/round/unmatch passes
+  /// establish all three): labels are nonnegative, EVEN, and
+  /// dual-feasible on EVERY store edge (lab2[u] + lab2[v] >= w2(u, v)),
+  /// and every matched pair is tight (equality) with mate[] involutive.
+  /// The parity requirement matters for termination, not feasibility:
+  /// i64_slack_bound halves outer-target slacks and the post-adjustment
+  /// rescan only fires at slack exactly 0, so an ODD outer-outer slack
+  /// pins d at floor(1/2) = 0 forever. An all-even entry has the same
+  /// shape as solve()'s own entry (w_max of doubled weights is even), so
+  /// the phases see nothing a cold start could not have produced — only
+  /// the amount of remaining work differs. `lab2` and `mate` are
+  /// 0-indexed by vertex; mate values are 1-based partners (0 =
+  /// unmatched).
+  void solve_from(const std::vector<std::int64_t>& lab2,
+                  const std::vector<std::int32_t>& mate) {
+    n_x_ = n_;
+    for (int u = 1; u <= n_; ++u) {
+      st_[u] = u;
+      lab_[u] = lab2[u - 1];
+      match_[u] = mate[u - 1];
+    }
+    while (matching_phase()) {
+    }
+  }
+
   int partner(int v) const { return match_[v]; }
   std::int64_t dual2(int v) const { return lab_[v]; }
 

@@ -17,7 +17,11 @@
 //    terminates; when no absent pair violates, the duals are feasible on
 //    the COMPLETE graph and complementary slackness certifies the current
 //    matching as the exact optimum of the same quantized objective the
-//    dense engine solves.
+//    dense engine solves. Re-solves warm-start from the previous round's
+//    duals and matching (see the in-loop comment) instead of from cold
+//    labels; this changes only the work per round, never the optimum —
+//    the quantizer's tie perturbation makes the optimum generically
+//    unique, so the dense/sparse identical-matching invariant holds.
 //
 // The pricing scan is the only O(n^2) part and runs through the
 // simd::price_scan kernel: the int64 dual test is relaxed to a
@@ -39,6 +43,7 @@
 #include "matching/blossom.h"
 #include "matching/blossom_core.h"
 #include "matching/quantize.h"
+#include "obs/obs.h"
 #include "util/assert.h"
 #include "util/simd.h"
 
@@ -124,7 +129,10 @@ Matching sparse_blossom_euclidean_matching(const std::vector<geom::Point>& pts,
   std::vector<std::pair<int, int>> edges1;
   std::vector<std::int64_t> w2;
   std::vector<std::int64_t> lab2(n);
+  std::vector<std::int32_t> mate(n, 0);
+  bool warm = false;
   for (;;) {
+    OBS_COUNT("blossom.rounds", 1);
     edges1.clear();
     w2.clear();
     edges1.reserve(edges0.size());
@@ -139,35 +147,85 @@ Matching sparse_blossom_euclidean_matching(const std::vector<geom::Point>& pts,
     detail::BlossomArena& arena = detail::thread_arena();
     detail::BlossomCore<detail::SparseStore> core(static_cast<int>(n), store,
                                                   arena);
-    core.solve();
+    {
+      OBS_SPAN("blossom.solve");
+      if (!warm) {
+        core.solve();
+      } else {
+        // Warm start from the previous round's duals and matching instead
+        // of re-deriving everything from lab = w_max. Three passes
+        // restore the solver's entry invariants over the GROWN edge set:
+        //  1. Feasibility bump: the captured labels omit blossom duals
+        //     z_B (only labels are exported), and newly added edges were
+        //     by construction violated, so some edges may have
+        //     lab_u + lab_v < w. Raising the lower endpoint by the
+        //     deficit restores lab_u + lab_v >= w for that edge and
+        //     cannot break any other (labels only ever increase).
+        //  2. Parity rounding: the solver's dual adjustments can leave
+        //     odd labels, but its phases only terminate from an all-even
+        //     entry (see solve_from); rounding odd labels up to even
+        //     preserves feasibility because labels only increase.
+        //  3. Unmatch pairs whose edge is no longer tight after the
+        //     bumps and rounding; the phases require matched edges to
+        //     satisfy complementary slackness exactly.
+        // The re-solve then only repairs the damage near the new edges
+        // rather than rebuilding the whole matching.
+        for (std::size_t k = 0; k < edges0.size(); ++k) {
+          const auto u = static_cast<std::size_t>(edges0[k].first);
+          const auto v = static_cast<std::size_t>(edges0[k].second);
+          const std::int64_t need = w2[k] - lab2[u] - lab2[v];
+          if (need > 0) lab2[u] += need;
+        }
+        for (std::size_t u = 0; u < n; ++u) {
+          lab2[u] += lab2[u] & 1;  // parity-round up to even (see above)
+        }
+        for (std::size_t u = 0; u < n; ++u) {
+          const std::int32_t m = mate[u];
+          if (m == 0) continue;
+          const auto v = static_cast<std::size_t>(m) - 1;
+          if (v < u) continue;  // each pair once, from its lower endpoint
+          if (lab2[u] + lab2[v] != store.weight(static_cast<int>(u) + 1, m)) {
+            mate[u] = 0;
+            mate[v] = 0;
+          }
+        }
+        core.solve_from(lab2, mate);
+      }
+    }
 
     for (std::size_t v = 0; v < n; ++v) {
       lab2[v] = core.dual2(static_cast<int>(v) + 1);
+      mate[v] = static_cast<std::int32_t>(core.partner(static_cast<int>(v) + 1));
       av[v] = static_cast<double>(lab2[v]) * inv;
     }
+    warm = true;
 
     std::size_t added = 0;
-    for (std::size_t u = 0; u + 1 < n; ++u) {
-      const std::size_t m = n - u - 1;
-      const std::size_t hits =
-          simd::price_scan(xs.data() + u + 1, ys.data() + u + 1, m, xs[u],
-                           ys[u], base - av[u], av.data() + u + 1,
-                           ids.data() + u + 1, flagged.data());
-      for (std::size_t k = 0; k < hits; ++k) {
-        const auto v = flagged[k];
-        if (store.weight(static_cast<int>(u) + 1, static_cast<int>(v) + 1) !=
-            0) {
-          continue;  // already a candidate; its constraint is enforced
-        }
-        const std::int64_t p2 =
-            2 * qz.profit(geom::distance(pts[u], pts[v]),
-                          static_cast<std::uint32_t>(u), v);
-        if (lab2[u] + lab2[v] < p2) {
-          edges0.emplace_back(static_cast<int>(u), static_cast<int>(v));
-          ++added;
+    {
+      OBS_SPAN("blossom.price_scan");
+      for (std::size_t u = 0; u + 1 < n; ++u) {
+        const std::size_t m = n - u - 1;
+        const std::size_t hits =
+            simd::price_scan(xs.data() + u + 1, ys.data() + u + 1, m, xs[u],
+                             ys[u], base - av[u], av.data() + u + 1,
+                             ids.data() + u + 1, flagged.data());
+        for (std::size_t k = 0; k < hits; ++k) {
+          const auto v = flagged[k];
+          if (store.weight(static_cast<int>(u) + 1, static_cast<int>(v) + 1) !=
+              0) {
+            continue;  // already a candidate; its constraint is enforced
+          }
+          const std::int64_t p2 =
+              2 * qz.profit(geom::distance(pts[u], pts[v]),
+                            static_cast<std::uint32_t>(u), v);
+          if (lab2[u] + lab2[v] < p2) {
+            edges0.emplace_back(static_cast<int>(u), static_cast<int>(v));
+            ++added;
+          }
         }
       }
     }
+    OBS_COUNT("blossom.edges_added", static_cast<std::int64_t>(added));
     if (added == 0) {
       bool perfect = true;
       for (std::size_t v = 0; v < n && perfect; ++v) {
@@ -197,20 +255,22 @@ Matching sparse_blossom_euclidean_matching(const std::vector<geom::Point>& pts,
       // uncovered pair is always directly augmentable, and the edge set
       // strictly grows, so the loop terminates.
       const std::size_t before = edges0.size();
-      for (std::size_t u = 0; u < n; ++u) {
-        if (core.partner(static_cast<int>(u) + 1) != 0) continue;
-        for (std::size_t v = 0; v < n; ++v) {
-          if (v == u ||
-              store.weight(static_cast<int>(u) + 1, static_cast<int>(v) + 1) !=
-                  0) {
-            continue;
+      {
+        OBS_SPAN("blossom.repair");
+        for (std::size_t u = 0; u < n; ++u) {
+          if (core.partner(static_cast<int>(u) + 1) != 0) continue;
+          for (std::size_t v = 0; v < n; ++v) {
+            if (v == u || store.weight(static_cast<int>(u) + 1,
+                                       static_cast<int>(v) + 1) != 0) {
+              continue;
+            }
+            edges0.emplace_back(static_cast<int>(std::min(u, v)),
+                                static_cast<int>(std::max(u, v)));
           }
-          edges0.emplace_back(static_cast<int>(std::min(u, v)),
-                              static_cast<int>(std::max(u, v)));
         }
+        std::sort(edges0.begin(), edges0.end());
+        edges0.erase(std::unique(edges0.begin(), edges0.end()), edges0.end());
       }
-      std::sort(edges0.begin(), edges0.end());
-      edges0.erase(std::unique(edges0.begin(), edges0.end()), edges0.end());
       if (edges0.size() == before) {
         // Free vertices already have complete rows — cannot repair
         // further sparsely; the dense engine solves the identical

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 
+#include "obs/obs.h"
 #include "util/assert.h"
 
 namespace mcharge::sched {
@@ -28,13 +29,15 @@ struct ActiveSojourn {
   double finish;
 };
 
-/// Travel time from MCV k's start position to location `loc` (leg 0).
+/// Travel time from MCV k's start position to location `loc`. `leg` is the
+/// fault index of this leg: 0 for a fresh execution, the resume leg offset
+/// when the "start" position is really a mid-tour field position.
 double start_leg(const model::ChargingProblem& problem,
                  const ChargingPlan& plan, const ExecutionFaults& faults,
-                 std::uint32_t mcv, std::uint32_t loc) {
+                 std::uint32_t mcv, std::uint32_t loc, std::size_t leg) {
   const geom::Point start = plan.start_of(mcv, problem.depot());
   double t = geom::distance(start, problem.position(loc)) / problem.speed();
-  if (faults.travel_multiplier) t *= faults.travel_multiplier(mcv, 0);
+  if (faults.travel_multiplier) t *= faults.travel_multiplier(mcv, leg);
   return t;
 }
 
@@ -81,28 +84,48 @@ void abort_tour(const ChargingPlan& plan, std::uint32_t k, std::size_t pos,
 
 ChargingSchedule execute_multinode(const model::ChargingProblem& problem,
                                    const ChargingPlan& plan,
-                                   const ExecutionFaults& faults) {
+                                   const ExecutionFaults& faults,
+                                   const ResumeState& resume) {
+  OBS_SPAN("exec.multinode");
   ChargingSchedule schedule;
   schedule.mode = ChargeMode::kMultiNode;
   schedule.mcvs.resize(plan.tours.size());
   schedule.charged_at.assign(problem.size(), kNeverCharged);
   resolve_starts(problem, plan, &schedule);
 
-  // `committed_for` marks sensors that are (or will be) fully charged by an
+  // A default-constructed ResumeState is a fresh execution: departure 0,
+  // leg offset 0, nothing charged, nothing busy.
+  const auto depart = [&resume](std::uint32_t k) {
+    return k < resume.depart_at.size() ? resume.depart_at[k] : 0.0;
+  };
+  const auto offset = [&resume](std::uint32_t k) {
+    return k < resume.leg_offset.size()
+               ? static_cast<std::size_t>(resume.leg_offset[k])
+               : std::size_t{0};
+  };
+
+  // `committed` marks sensors that are (or will be) fully charged by an
   // already-committed sojourn, so later sojourns exclude them from tau'.
   std::vector<char> committed(problem.size(), 0);
+  for (std::size_t u = 0; u < resume.charged.size(); ++u) {
+    if (resume.charged[u]) committed[u] = 1;
+  }
   std::vector<ActiveSojourn> log;  // all committed sojourns with duration > 0
+  for (const auto& b : resume.busy) {
+    log.push_back({b.mcv, b.location, b.start, b.finish});
+  }
 
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
   for (std::uint32_t k = 0; k < plan.tours.size(); ++k) {
     if (plan.tours[k].empty()) {
-      schedule.mcvs[k].return_time = 0.0;
+      schedule.mcvs[k].return_time = depart(k);
     } else if (faults.breakdown_of(k) == 0) {
       // Broke down at dispatch: never leaves the depot area.
       abort_tour(plan, k, 0, &schedule.mcvs[k]);
     } else {
-      events.push({start_leg(problem, plan, faults, k, plan.tours[k][0]), k,
-                   0});
+      events.push({depart(k) + start_leg(problem, plan, faults, k,
+                                         plan.tours[k][0], offset(k)),
+                   k, 0});
     }
   }
 
@@ -169,13 +192,15 @@ ChargingSchedule execute_multinode(const model::ChargingProblem& problem,
 
     // Next leg.
     if (ev.tour_pos + 1 < tour.size()) {
-      const double travel = leg_time(problem, faults, ev.mcv, ev.tour_pos + 1,
-                                     loc, tour[ev.tour_pos + 1]);
+      const double travel =
+          leg_time(problem, faults, ev.mcv, offset(ev.mcv) + ev.tour_pos + 1,
+                   loc, tour[ev.tour_pos + 1]);
       events.push({start + duration + travel, ev.mcv, ev.tour_pos + 1});
     } else {
       schedule.mcvs[ev.mcv].return_time =
           start + duration +
-          return_leg(problem, faults, ev.mcv, tour.size(), loc);
+          return_leg(problem, faults, ev.mcv, offset(ev.mcv) + tour.size(),
+                     loc);
     }
   }
 
@@ -183,12 +208,12 @@ ChargingSchedule execute_multinode(const model::ChargingProblem& problem,
   // arrival; recompute arrivals from travel legs so wait() is meaningful.
   for (std::uint32_t k = 0; k < schedule.mcvs.size(); ++k) {
     auto& mcv = schedule.mcvs[k];
-    double clock = 0.0;
+    double clock = depart(k);
     std::uint32_t prev = 0;
-    std::size_t leg = 0;
+    std::size_t leg = offset(k);
     bool first = true;
     for (auto& s : mcv.sojourns) {
-      clock += first ? start_leg(problem, plan, faults, k, s.location)
+      clock += first ? start_leg(problem, plan, faults, k, s.location, leg)
                      : leg_time(problem, faults, k, leg, prev, s.location);
       s.arrival = clock;
       MCHARGE_DASSERT(s.start >= s.arrival - 1e-9,
@@ -205,6 +230,7 @@ ChargingSchedule execute_multinode(const model::ChargingProblem& problem,
 ChargingSchedule execute_one_to_one(const model::ChargingProblem& problem,
                                     const ChargingPlan& plan,
                                     const ExecutionFaults& faults) {
+  OBS_SPAN("exec.one_to_one");
   ChargingSchedule schedule;
   schedule.mode = ChargeMode::kOneToOne;
   schedule.mcvs.resize(plan.tours.size());
@@ -220,8 +246,8 @@ ChargingSchedule execute_one_to_one(const model::ChargingProblem& problem,
     if (faults.breakdown_of(k) == 0) {
       abort_tour(plan, k, 0, &schedule.mcvs[k]);
     } else {
-      events.push({start_leg(problem, plan, faults, k, plan.tours[k][0]), k,
-                   0});
+      events.push(
+          {start_leg(problem, plan, faults, k, plan.tours[k][0], 0), k, 0});
     }
   }
   std::vector<char> committed(problem.size(), 0);
@@ -292,8 +318,30 @@ ChargingSchedule execute_plan(const model::ChargingProblem& problem,
     }
   }
   return plan.mode == ChargeMode::kMultiNode
-             ? execute_multinode(problem, plan, faults)
+             ? execute_multinode(problem, plan, faults, ResumeState{})
              : execute_one_to_one(problem, plan, faults);
+}
+
+ChargingSchedule execute_plan(const model::ChargingProblem& problem,
+                              const ChargingPlan& plan,
+                              const ExecutionFaults& faults,
+                              const ResumeState& resume) {
+  MCHARGE_ASSERT(plan.mode == ChargeMode::kMultiNode,
+                 "resume execution is defined for multi-node plans only");
+  MCHARGE_ASSERT(plan.starts.size() == plan.tours.size(),
+                 "resume plans must carry every MCV's current position");
+  MCHARGE_ASSERT(faults.breakdown_after.empty() ||
+                     faults.breakdown_after.size() == plan.tours.size(),
+                 "breakdown_after must be empty or one entry per tour");
+  std::vector<char> used(problem.size(), 0);
+  for (const auto& tour : plan.tours) {
+    for (std::uint32_t loc : tour) {
+      MCHARGE_ASSERT(loc < problem.size(), "plan references unknown location");
+      MCHARGE_ASSERT(!used[loc], "plans must visit each location at most once");
+      used[loc] = 1;
+    }
+  }
+  return execute_multinode(problem, plan, faults, resume);
 }
 
 }  // namespace mcharge::sched

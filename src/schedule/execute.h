@@ -76,6 +76,38 @@ struct ExecutionFaults {
   }
 };
 
+/// Mid-round resume context: the frozen, already-executed prefix of a
+/// round whose remaining stops are being re-executed as suffix tours
+/// (graft recovery, core/replan.h). The executor treats the prefix as
+/// history — it never re-runs it — but seeds all cross-tour state from it
+/// so the merged (prefix + suffix) schedule is exactly what a single
+/// uninterrupted execution of the merged tours would have produced.
+struct ResumeState {
+  /// A prefix sojourn that may still be charging when the suffix starts;
+  /// suffix sojourns must wait out conflicts against these exactly like
+  /// against each other.
+  struct Busy {
+    std::uint32_t mcv;
+    std::uint32_t location;
+    double start;
+    double finish;
+  };
+
+  /// Per MCV: the instant it departs toward its first suffix stop —
+  /// normally its prefix's last finish, possibly held later (e.g. until
+  /// the base station could have issued the new instruction).
+  std::vector<double> depart_at;
+  /// Per MCV: number of already-executed sojourns. Suffix sojourn i uses
+  /// travel-fault leg index leg_offset[k] + i (and the depot-return leg
+  /// leg_offset[k] + suffix length), so fault draws line up with the
+  /// merged tour's leg indices.
+  std::vector<std::uint32_t> leg_offset;
+  /// Per sensor: 1 if the executed prefix already charged it.
+  std::vector<char> charged;
+  /// Prefix sojourns with positive duration (conflict-detection seed).
+  std::vector<Busy> busy;
+};
+
 /// Executes `plan` against `problem`. The plan may reference each sensor
 /// location at most once across all tours (asserted).
 ChargingSchedule execute_plan(const model::ChargingProblem& problem,
@@ -87,5 +119,16 @@ ChargingSchedule execute_plan(const model::ChargingProblem& problem,
 ChargingSchedule execute_plan(const model::ChargingProblem& problem,
                               const ChargingPlan& plan,
                               const ExecutionFaults& faults);
+
+/// Resume overload (multi-node only): executes just the suffix tours in
+/// `plan` on top of the partially executed round described by `resume`.
+/// plan.starts must hold each MCV's current field position (its prefix's
+/// last stop). Returns a schedule containing ONLY the suffix sojourns;
+/// the caller merges it with the frozen prefix. MCVs with an empty suffix
+/// tour are left untouched (return_time = depart_at).
+ChargingSchedule execute_plan(const model::ChargingProblem& problem,
+                              const ChargingPlan& plan,
+                              const ExecutionFaults& faults,
+                              const ResumeState& resume);
 
 }  // namespace mcharge::sched

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/replan.h"
+#include "obs/obs.h"
 #include "schedule/execute.h"
 #include "schedule/verify.h"
 #include "sim/faults.h"
@@ -82,6 +83,7 @@ double snap_dispatch_to_epoch(double dispatch, double epoch,
 SimResult simulate(const model::WrsnInstance& instance,
                    const sched::Scheduler& scheduler,
                    const SimConfig& config) {
+  const obs::EnabledScope trace_scope(config.trace);
   const std::size_t n = instance.num_sensors();
   const model::NetworkConfig& net = instance.config;
   const double capacity = net.battery_capacity_j;
@@ -198,23 +200,27 @@ SimResult simulate(const model::WrsnInstance& instance,
 
     // Next request among all sensors: per-sensor threshold crossings (now
     // for already-below sensors), min-reduced in shard index order.
+    OBS_SPAN("sim.round");
     double first_request = kInf;
-    if (shards == 1) {
-      first_request =
-          simd::crossing_min(state.level.data(), state.as_of.data(), draw, n,
-                             threshold_j, kCrossingEps);
-    } else {
-      for (std::size_t s = 0; s < shards; ++s) {
-        pool->submit([&, s] {
-          const std::size_t b = plan_shards.begin(s);
-          shard_min[s] = simd::crossing_min(
-              state.level.data() + b, state.as_of.data() + b, draw + b,
-              plan_shards.end(s) - b, threshold_j, kCrossingEps);
-        });
-      }
-      pool->wait_idle();
-      for (std::size_t s = 0; s < shards; ++s) {
-        if (shard_min[s] < first_request) first_request = shard_min[s];
+    {
+      OBS_SPAN("sim.crossing_scan");
+      if (shards == 1) {
+        first_request =
+            simd::crossing_min(state.level.data(), state.as_of.data(), draw,
+                               n, threshold_j, kCrossingEps);
+      } else {
+        for (std::size_t s = 0; s < shards; ++s) {
+          pool->submit([&, s] {
+            const std::size_t b = plan_shards.begin(s);
+            shard_min[s] = simd::crossing_min(
+                state.level.data() + b, state.as_of.data() + b, draw + b,
+                plan_shards.end(s) - b, threshold_j, kCrossingEps);
+          });
+        }
+        pool->wait_idle();
+        for (std::size_t s = 0; s < shards; ++s) {
+          if (shard_min[s] < first_request) first_request = shard_min[s];
+        }
       }
     }
     if (first_request >= horizon) break;
@@ -247,28 +253,33 @@ SimResult simulate(const model::WrsnInstance& instance,
     // in the scratch buffer (a shard selects at most its own length), then
     // concatenate in shard index order == global index order.
     std::vector<std::uint32_t> batch;
-    if (shards == 1) {
-      const std::size_t got = simd::advance_select_below(
-          state.level.data(), state.as_of.data(), state.dead_since.data(),
-          draw, n, dispatch, threshold_j, ids.data(), select_scratch.data());
-      batch.assign(select_scratch.begin(),
-                   select_scratch.begin() + static_cast<std::ptrdiff_t>(got));
-    } else {
-      for (std::size_t s = 0; s < shards; ++s) {
-        pool->submit([&, s, dispatch] {
+    {
+      OBS_SPAN("sim.select_scan");
+      if (shards == 1) {
+        const std::size_t got = simd::advance_select_below(
+            state.level.data(), state.as_of.data(), state.dead_since.data(),
+            draw, n, dispatch, threshold_j, ids.data(),
+            select_scratch.data());
+        batch.assign(
+            select_scratch.begin(),
+            select_scratch.begin() + static_cast<std::ptrdiff_t>(got));
+      } else {
+        for (std::size_t s = 0; s < shards; ++s) {
+          pool->submit([&, s, dispatch] {
+            const std::size_t b = plan_shards.begin(s);
+            shard_count[s] = simd::advance_select_below(
+                state.level.data() + b, state.as_of.data() + b,
+                state.dead_since.data() + b, draw + b, plan_shards.end(s) - b,
+                dispatch, threshold_j, ids.data() + b,
+                select_scratch.data() + b);
+          });
+        }
+        pool->wait_idle();
+        for (std::size_t s = 0; s < shards; ++s) {
           const std::size_t b = plan_shards.begin(s);
-          shard_count[s] = simd::advance_select_below(
-              state.level.data() + b, state.as_of.data() + b,
-              state.dead_since.data() + b, draw + b, plan_shards.end(s) - b,
-              dispatch, threshold_j, ids.data() + b,
-              select_scratch.data() + b);
-        });
-      }
-      pool->wait_idle();
-      for (std::size_t s = 0; s < shards; ++s) {
-        const std::size_t b = plan_shards.begin(s);
-        batch.insert(batch.end(), select_scratch.begin() + b,
-                     select_scratch.begin() + b + shard_count[s]);
+          batch.insert(batch.end(), select_scratch.begin() + b,
+                       select_scratch.begin() + b + shard_count[s]);
+        }
       }
     }
     MCHARGE_ASSERT(!batch.empty(), "dispatch with an empty request set");
@@ -305,8 +316,11 @@ SimResult simulate(const model::WrsnInstance& instance,
     problem.set_residual_lifetimes(std::move(lifetimes));
     problem.set_charging_rate(net.charging_rate_w);
 
-    const sched::ChargingPlan plan =
-        scheduler.plan_with_jobs(problem, config.plan_jobs);
+    sched::ChargingPlan plan;
+    {
+      OBS_SPAN("sim.plan");
+      plan = scheduler.plan_with_jobs(problem, config.plan_jobs);
+    }
     sched::ExecutionFaults round_fault;
     if (fault_model.enabled()) {
       round_fault = fault_model.round_faults(result.rounds, plan);
@@ -326,6 +340,7 @@ SimResult simulate(const model::WrsnInstance& instance,
       // schedule of its own sub-problem.
       core::RecoveryOutcome outcome =
           core::recover_round(problem, plan, round_fault, config.recovery);
+      OBS_COUNT("sim.faulty_rounds", 1);
       sched::VerifyOptions verify_options;
       verify_options.require_full_coverage = false;
       verify_options.allow_partial = true;
@@ -444,7 +459,16 @@ SimResult simulate(const model::WrsnInstance& instance,
 
   result.mean_dead_minutes_per_sensor =
       result.total_dead_seconds / static_cast<double>(n) / 60.0;
-  result.busy_fraction = busy_seconds / horizon;
+  // Utilization is busy time over *simulated* time. For a run that covers
+  // the period that is the horizon; for a kMaxRounds truncation only the
+  // prefix up to the fleet's last return was simulated, and dividing by
+  // the full horizon would shrink busy_fraction with the (arbitrary)
+  // round budget instead of measuring the fleet.
+  const double elapsed =
+      result.truncated_reason == TruncationReason::kMaxRounds
+          ? std::min(fleet_ready, horizon)
+          : horizon;
+  result.busy_fraction = elapsed > 0.0 ? busy_seconds / elapsed : 0.0;
   return result;
 }
 

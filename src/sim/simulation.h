@@ -79,6 +79,14 @@ struct SimConfig {
   /// What to do with the stops orphaned when an MCV breaks down mid-tour
   /// (core/replan.h). Irrelevant while faults.mcv_breakdown_prob == 0.
   core::RecoveryPolicy recovery = core::RecoveryPolicy::kDefer;
+  /// Enable the tracing layer (obs/obs.h) for the duration of this run:
+  /// spans/counters across the planner, matching engine, executor and the
+  /// simulator's own scans accumulate into the process-wide registry
+  /// (read it back with obs::capture() or obs::write_trace_json()).
+  /// Tracing never feeds back into an algorithmic decision, so the
+  /// SimResult is byte-identical with it on or off (tests/obs_test.cpp);
+  /// under -DMCHARGE_NO_OBS=ON the flag is accepted but records nothing.
+  bool trace = false;
 };
 
 /// One charging round as seen by the base station.
@@ -114,12 +122,16 @@ struct SimResult {
   RunningStats request_latency_s;
   double total_conflict_wait_s = 0.0;   ///< waiting injected by the executor
   std::size_t verify_violations = 0;    ///< should stay 0
-  /// Fraction of the monitoring period the fleet spends away from the
+  /// Fraction of the *simulated* time the fleet spends away from the
   /// depot. A round dispatched at time d with longest delay D contributes
-  /// min(d + D, T_M) - d: a round still out when the period ends is
-  /// censored and counts only its in-horizon prefix. Degenerate rounds
-  /// that charge nothing contribute zero — the empty-round backoff is
-  /// idle time at the depot, not busy time.
+  /// min(d + D, T_M) - d busy seconds: a round still out when the period
+  /// ends is censored and counts only its in-horizon prefix. Degenerate
+  /// rounds that charge nothing contribute zero — the empty-round backoff
+  /// is idle time at the depot, not busy time. The denominator is the
+  /// horizon T_M for a run that covers it, but only the elapsed simulated
+  /// time (the fleet's last return) when the run truncates early via
+  /// kMaxRounds — dividing a partial run's busy seconds by the full
+  /// horizon would silently under-report utilization.
   double busy_fraction = 0.0;
   std::vector<double> dead_seconds_per_sensor;   ///< indexed by sensor
   std::vector<std::size_t> charges_per_sensor;   ///< charge events per sensor

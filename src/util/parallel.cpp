@@ -3,6 +3,7 @@
 #include <atomic>
 #include <exception>
 
+#include "obs/obs.h"
 #include "util/assert.h"
 
 namespace mcharge {
@@ -35,7 +36,13 @@ void ThreadPool::submit(std::function<void()> task) {
     std::unique_lock<std::mutex> lock(mutex_);
     MCHARGE_ASSERT(!stop_, "ThreadPool::submit after shutdown");
     queue_.push_back(std::move(task));
+    // The pool has no work stealing — a task runs on whichever worker
+    // pops it — so backlog is the one congestion signal worth watching:
+    // the queue depth at submit time (its `max` is the high-water mark).
+    OBS_GAUGE("pool.queue_depth",
+              static_cast<std::int64_t>(queue_.size()));
   }
+  OBS_COUNT("pool.tasks_submitted", 1);
   work_cv_.notify_one();
 }
 
@@ -58,6 +65,7 @@ void ThreadPool::worker_loop() {
       ++active_;
     }
     task();
+    OBS_COUNT("pool.tasks_executed", 1);
     {
       std::unique_lock<std::mutex> lock(mutex_);
       --active_;

@@ -29,6 +29,12 @@ std::size_t default_jobs();
 /// A fixed-size pool of worker threads draining a FIFO task queue.
 /// Tasks must not throw; wrap throwing work (parallel_for does this and
 /// rethrows the first exception on the caller).
+///
+/// When tracing is enabled (obs/obs.h) the pool reports
+/// `pool.tasks_submitted` / `pool.tasks_executed` counters and a
+/// `pool.queue_depth` gauge (depth at submit time; `max` = high-water
+/// mark). There is no work stealing to count: tasks are popped FIFO by
+/// whichever worker wakes first, so queue depth is the congestion signal.
 class ThreadPool {
  public:
   /// Spawns `threads` workers (at least 1).

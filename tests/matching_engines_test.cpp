@@ -216,6 +216,42 @@ TEST(EnginesDispatch, SparseKnnInsensitive) {
   }
 }
 
+class EnginesWarmStart : public ::testing::TestWithParam<int> {};
+
+TEST_P(EnginesWarmStart, ManyPricingRoundsStayExact) {
+  // Starved candidate graphs (knn = 1..2) force the maximum number of
+  // price-and-repair rounds, so every round past the first re-solves
+  // from warm duals and a warm matching. Each re-solve stresses the
+  // warm-start entry invariants (feasibility bump, parity rounding,
+  // tightness unmatch) on duals the solver itself exported — clustered
+  // layouts add near-ties and blossom-heavy duals on top. The dense
+  // engine is the oracle: identical matching, not merely equal weight.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 9697 + 29);
+  std::vector<geom::Point> pts;
+  if (GetParam() % 2 == 0) {
+    pts = geom::uniform_field(120 + 2 * rng.below(31), 100.0, 100.0, rng);
+  } else {
+    const int clusters = 4 + static_cast<int>(rng.below(3));
+    for (int c = 0; c < clusters; ++c) {
+      const geom::Point center{rng.uniform(0.0, 100.0),
+                               rng.uniform(0.0, 100.0)};
+      const int size = 10 + static_cast<int>(rng.below(12));
+      for (int i = 0; i < size; ++i) {
+        pts.push_back({center.x + rng.uniform(-0.8, 0.8),
+                       center.y + rng.uniform(-0.8, 0.8)});
+      }
+    }
+    if (pts.size() % 2 == 1) pts.push_back({50.0, 50.0});
+  }
+  const Matching dense = dense_blossom_euclidean_matching(pts);
+  for (const int knn : {1, 2}) {
+    EXPECT_EQ(dense, sparse_blossom_euclidean_matching(pts, knn))
+        << "knn=" << knn << " n=" << pts.size();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnginesWarmStart, ::testing::Range(0, 8));
+
 // ---------- full-plan byte identity ----------
 
 /// Pins a backend for a scope; restores the previous one on exit.

@@ -1,0 +1,242 @@
+// Tests for the tracing & metrics layer (src/obs) and its central
+// contract: observation never changes behavior.
+//
+// Part 1 exercises the primitives themselves (spans, counters, gauges,
+// enable scoping, report rendering) — compiled only when the layer is
+// built in, since -DMCHARGE_NO_OBS=ON erases the macros by design.
+//
+// Part 2 asserts the byte-identity contract and compiles in BOTH build
+// modes: for every supported SIMD backend x worker count x fault/recovery
+// mode, a traced run's SimResult is bit-identical (every scalar, vector,
+// stats moment, and RoundLog entry) to the untraced run's, and full Appro
+// plans are identical with tracing on vs off. Under MCHARGE_NO_OBS the
+// trace flag is inert and the same assertions pin that down.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/appro.h"
+#include "geometry/point.h"
+#include "model/charging_problem.h"
+#include "model/network.h"
+#include "obs/obs.h"
+#include "sim/faults.h"
+#include "sim/simulation.h"
+#include "sim_compare.h"
+#include "util/rng.h"
+#include "util/simd.h"
+
+namespace mcharge::sim {
+namespace {
+
+#ifndef MCHARGE_NO_OBS
+
+/// Finds a metric by name in a captured report; fails the test if absent.
+const obs::MetricSnapshot* find_metric(const obs::TraceReport& report,
+                                       const std::string& name) {
+  for (const auto& m : report.metrics) {
+    if (m.name == name) return &m;
+  }
+  ADD_FAILURE() << "metric not captured: " << name;
+  return nullptr;
+}
+
+TEST(ObsPrimitives, SpanCounterGaugeAccumulate) {
+  obs::reset();
+  const obs::EnabledScope scope(true);
+  for (int i = 0; i < 3; ++i) {
+    OBS_SPAN("obs_test.unit.span");
+  }
+  OBS_COUNT("obs_test.unit.counter", 5);
+  OBS_COUNT("obs_test.unit.counter", 7);
+  OBS_GAUGE("obs_test.unit.gauge", 9);
+  OBS_GAUGE("obs_test.unit.gauge", 4);
+
+  const obs::TraceReport report = obs::capture();
+  const auto* span = find_metric(report, "obs_test.unit.span");
+  ASSERT_NE(span, nullptr);
+  EXPECT_EQ(span->kind, obs::Kind::kSpan);
+  EXPECT_EQ(span->count, 3u);
+  EXPECT_GE(span->total_s, 0.0);
+
+  const auto* counter = find_metric(report, "obs_test.unit.counter");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->kind, obs::Kind::kCounter);
+  EXPECT_EQ(counter->count, 2u);
+  EXPECT_EQ(counter->value, 12);
+
+  const auto* gauge = find_metric(report, "obs_test.unit.gauge");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_EQ(gauge->kind, obs::Kind::kGauge);
+  EXPECT_EQ(gauge->count, 2u);
+  EXPECT_EQ(gauge->value, 4);
+  EXPECT_EQ(gauge->max_value, 9);
+}
+
+TEST(ObsPrimitives, DisabledSitesRegisterButStayZero) {
+  obs::reset();
+  ASSERT_FALSE(obs::enabled());
+  OBS_COUNT("obs_test.unit.disabled_counter", 100);
+  {
+    OBS_SPAN("obs_test.unit.disabled_span");
+  }
+  const obs::TraceReport report = obs::capture();
+  const auto* counter =
+      find_metric(report, "obs_test.unit.disabled_counter");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->count, 0u);
+  EXPECT_EQ(counter->value, 0);
+  const auto* span = find_metric(report, "obs_test.unit.disabled_span");
+  ASSERT_NE(span, nullptr);
+  EXPECT_EQ(span->count, 0u);
+}
+
+TEST(ObsPrimitives, EnabledScopeRestoresPriorState) {
+  ASSERT_FALSE(obs::enabled());
+  {
+    const obs::EnabledScope scope(true);
+    EXPECT_TRUE(obs::enabled());
+    {
+      const obs::EnabledScope inner(false);  // no-op scope
+      EXPECT_TRUE(obs::enabled());
+    }
+    EXPECT_TRUE(obs::enabled());
+  }
+  EXPECT_FALSE(obs::enabled());
+}
+
+TEST(ObsPrimitives, ResetZeroesAccumulatorsButKeepsSites) {
+  obs::reset();
+  {
+    const obs::EnabledScope scope(true);
+    OBS_COUNT("obs_test.unit.reset_counter", 3);
+  }
+  obs::reset();
+  const auto* counter =
+      find_metric(obs::capture(), "obs_test.unit.reset_counter");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->count, 0u);
+  EXPECT_EQ(counter->value, 0);
+}
+
+TEST(ObsReport, JsonCarriesSchemaAndSortedMetrics) {
+  obs::reset();
+  {
+    const obs::EnabledScope scope(true);
+    OBS_COUNT("obs_test.report.metric", 1);
+  }
+  const obs::TraceReport report = obs::capture();
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"schema\": \"mcharge.trace.v1\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("obs_test.report.metric"), std::string::npos);
+  for (std::size_t i = 1; i < report.metrics.size(); ++i) {
+    EXPECT_LT(report.metrics[i - 1].name, report.metrics[i].name);
+  }
+  EXPECT_FALSE(report.to_table().empty());
+}
+
+TEST(ObsReport, SimulatorPopulatesCoreSpans) {
+  // A traced simulation must light up the instrumented subsystems
+  // end-to-end: planner phases, executor, and the simulator scans.
+  obs::reset();
+  Rng rng(5);
+  const auto instance = model::make_instance(model::NetworkConfig{}, 60, rng);
+  core::ApproScheduler appro;
+  SimConfig config;
+  config.monitoring_period_s = 20.0 * 86400.0;
+  config.trace = true;
+  const SimResult result = simulate(instance, appro, config);
+  ASSERT_GT(result.rounds, 0u);
+  const obs::TraceReport report = obs::capture();
+  for (const char* name : {"appro.plan", "exec.multinode", "sim.round"}) {
+    const auto* m = find_metric(report, name);
+    ASSERT_NE(m, nullptr) << name;
+    EXPECT_GT(m->count, 0u) << name;
+  }
+}
+
+#endif  // MCHARGE_NO_OBS
+
+// ---------- byte-identity: tracing must never change results ----------
+
+struct FaultMode {
+  const char* tag;
+  double breakdown_prob;
+  core::RecoveryPolicy recovery;
+};
+
+FaultConfig identity_faults(double breakdown_prob) {
+  FaultConfig f;
+  f.seed = 99;
+  f.mcv_breakdown_prob = breakdown_prob;
+  f.travel_jitter = 0.2;
+  f.charge_jitter = 0.2;
+  f.dispatch_delay_prob = 0.2;
+  f.dispatch_delay_max_s = 1200.0;
+  return f;
+}
+
+TEST(ObsIdentity, SimResultsByteIdenticalTracedVsUntraced) {
+  Rng rng(17);
+  const auto instance = model::make_instance(model::NetworkConfig{}, 70, rng);
+  core::ApproScheduler appro;
+
+  const FaultMode modes[] = {
+      {"fault-free", 0.0, core::RecoveryPolicy::kDefer},
+      {"defer", 0.3, core::RecoveryPolicy::kDefer},
+      {"graft", 0.3, core::RecoveryPolicy::kGraft},
+      {"replan", 0.3, core::RecoveryPolicy::kReplan},
+  };
+  for (const FaultMode& mode : modes) {
+    SimConfig config;
+    config.monitoring_period_s = 25.0 * 86400.0;
+    config.record_rounds = true;
+    config.shard_grain = 8;  // real sharding at n = 70
+    config.faults = identity_faults(mode.breakdown_prob);
+    config.recovery = mode.recovery;
+    for (const simd::Backend b : supported_backends()) {
+      BackendGuard guard(b);
+      for (const std::size_t jobs :
+           {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
+        config.jobs = jobs;
+        config.trace = false;
+        const SimResult untraced = simulate(instance, appro, config);
+        config.trace = true;
+        const SimResult traced = simulate(instance, appro, config);
+        SCOPED_TRACE(std::string(mode.tag) + " backend=" +
+                     simd::backend_name(b) + " jobs=" +
+                     std::to_string(jobs));
+        ASSERT_GT(untraced.rounds, 0u);
+        expect_results_identical(untraced, traced);
+      }
+    }
+  }
+}
+
+TEST(ObsIdentity, PlansIdenticalTracedVsUntraced) {
+  Rng rng(23);
+  std::vector<geom::Point> pts;
+  std::vector<double> deficits;
+  for (std::size_t i = 0; i < 240; ++i) {
+    pts.push_back({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)});
+    deficits.push_back(rng.uniform(3456.0, 5400.0));
+  }
+  const model::ChargingProblem problem(std::move(pts), std::move(deficits),
+                                       {50.0, 50.0}, 2.7, 1.0, 3);
+
+  const sched::ChargingPlan untraced = core::ApproScheduler().plan(problem);
+  sched::ChargingPlan traced;
+  {
+    const obs::EnabledScope scope(true);
+    traced = core::ApproScheduler().plan(problem);
+  }
+  EXPECT_EQ(untraced.mode, traced.mode);
+  EXPECT_EQ(untraced.tours, traced.tours);
+  EXPECT_EQ(untraced.starts, traced.starts);
+}
+
+}  // namespace
+}  // namespace mcharge::sim

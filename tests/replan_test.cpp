@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstring>
+#include <limits>
 #include <vector>
 
 #include "core/appro.h"
@@ -306,6 +307,97 @@ TEST(Recovery, AllMcvsFailedFallsBackToDefer) {
   }
 }
 
+TEST(Recovery, GraftResumesSurvivorsFromBreakdownInstant) {
+  // Hand-built line instance; every sensor is >= 30 m from the others, so
+  // each stop charges only itself and no charging disks overlap.
+  //   s0 = (10, 0)   deficit 100   MCV0's first stop
+  //   s1 = (10, 40)  deficit  70   MCV0's second stop (orphaned)
+  //   s2 = (40, 0)   deficit  10   MCV1's only stop
+  ChargingProblem p({{10, 0}, {10, 40}, {40, 0}}, {100.0, 70.0, 10.0}, {0, 0},
+                    2.7, 1.0, 2);
+  sched::ChargingPlan plan;
+  plan.tours = {{0, 1}, {2}};
+  sched::ExecutionFaults faults;
+  faults.breakdown_after = {1, sched::ExecutionFaults::kNoBreakdown};
+
+  const auto outcome = recover_round(p, plan, faults, RecoveryPolicy::kGraft);
+
+  // MCV0's history is untouched: depot -> s0 (10 s), charge 100 s, abort.
+  const auto& victim = outcome.primary.mcvs[0];
+  ASSERT_TRUE(victim.aborted);
+  ASSERT_EQ(victim.sojourns.size(), 1u);
+  EXPECT_NEAR(victim.sojourns[0].arrival, 10.0, 1e-9);
+  EXPECT_NEAR(victim.sojourns[0].finish, 110.0, 1e-9);
+  EXPECT_NEAR(victim.return_time, 110.0, 1e-9);  // = t1
+  EXPECT_EQ(victim.skipped, (std::vector<std::uint32_t>{1}));
+
+  // MCV1's own stop reads exactly as originally executed...
+  const auto& survivor = outcome.primary.mcvs[1];
+  ASSERT_FALSE(survivor.aborted);
+  ASSERT_EQ(survivor.sojourns.size(), 2u);
+  EXPECT_NEAR(survivor.sojourns[0].arrival, 40.0, 1e-9);
+  EXPECT_NEAR(survivor.sojourns[0].finish, 50.0, 1e-9);
+  // ...and then the grafted orphan. The base station learns of the
+  // breakdown only at t1 = 110, so the survivor departs toward s1 at 110 —
+  // not at its own finish (50), which would have it rescuing an orphan
+  // before anyone knew there was one.
+  const double t1 = 110.0;
+  const double leg = p.travel(2, 1);  // (40,0) -> (10,40): 50 s
+  EXPECT_EQ(survivor.sojourns[1].location, 1u);
+  EXPECT_NEAR(survivor.sojourns[1].arrival, t1 + leg, 1e-9);
+  EXPECT_NEAR(survivor.sojourns[1].start, t1 + leg, 1e-9);
+  EXPECT_NEAR(survivor.sojourns[1].finish, t1 + leg + 70.0, 1e-9);
+  EXPECT_NEAR(survivor.return_time, t1 + leg + 70.0 + p.travel_depot(1),
+              1e-9);
+  EXPECT_NEAR(outcome.primary.charged_at[1], t1 + leg + 70.0, 1e-9);
+
+  // The merged schedule verifies like one uninterrupted execution.
+  sched::VerifyOptions options;
+  options.require_full_coverage = false;
+  options.allow_partial = true;
+  options.faults = &faults;
+  const auto violations = sched::verify_schedule(p, outcome.primary, options);
+  EXPECT_TRUE(violations.empty()) << (violations.empty() ? "" : violations[0]);
+}
+
+TEST(Recovery, GraftWithJitterKeepsMergedLegIndexing) {
+  // Same instance as above, with leg- and location-dependent jitter. The
+  // grafted stop extends the survivor's tour, so its legs must draw fault
+  // multipliers at the MERGED tour indices (s2->s1 is leg 1, the depot
+  // return leg 2) — the verifier re-derives every leg that way and the
+  // early-arrival check is one-sided, so a mis-indexed (faster) draw
+  // surfaces as a violation.
+  ChargingProblem p({{10, 0}, {10, 40}, {40, 0}}, {100.0, 70.0, 10.0}, {0, 0},
+                    2.7, 1.0, 2);
+  sched::ChargingPlan plan;
+  plan.tours = {{0, 1}, {2}};
+  sched::ExecutionFaults faults;
+  faults.breakdown_after = {1, sched::ExecutionFaults::kNoBreakdown};
+  faults.travel_multiplier = [](std::uint32_t mcv, std::size_t leg) {
+    return 1.0 + 0.05 * static_cast<double>((mcv + 1) * (leg + 2));
+  };
+  faults.charge_multiplier = [](std::uint32_t loc) {
+    return 1.0 + 0.1 * static_cast<double>(loc);
+  };
+
+  const auto outcome = recover_round(p, plan, faults, RecoveryPolicy::kGraft);
+  sched::VerifyOptions options;
+  options.require_full_coverage = false;
+  options.allow_partial = true;
+  options.faults = &faults;
+  const auto violations = sched::verify_schedule(p, outcome.primary, options);
+  EXPECT_TRUE(violations.empty()) << (violations.empty() ? "" : violations[0]);
+
+  // Causality holds in the jittered timeline too.
+  const double t1 = outcome.primary.mcvs[0].return_time;
+  const auto& survivor = outcome.primary.mcvs[1];
+  ASSERT_EQ(survivor.sojourns.size(), 2u);
+  EXPECT_EQ(survivor.sojourns[1].location, 1u);
+  EXPECT_GE(survivor.sojourns[1].start, t1 - 1e-9);
+  EXPECT_TRUE(outcome.primary.charged_at[1] !=
+              sched::kNeverCharged);
+}
+
 class RecoveryProperty : public ::testing::TestWithParam<int> {};
 
 TEST_P(RecoveryProperty, GraftAndReplanVerifyCleanAndRescueOrphans) {
@@ -355,6 +447,35 @@ TEST_P(RecoveryProperty, GraftAndReplanVerifyCleanAndRescueOrphans) {
     // Rescuing orphans cannot beat the broken round's delay.
     EXPECT_GE(outcome.longest_delay(), broken.longest_delay() - 1e-9);
     EXPECT_GE(outcome.stats.extra_delay_s, 0.0);
+    if (policy == RecoveryPolicy::kGraft) {
+      // Causality: a grafted (previously orphaned) stop cannot begin
+      // before the first breakdown was known, and the survivors' frozen
+      // prefixes must read exactly as in the broken execution.
+      double t1 = std::numeric_limits<double>::infinity();
+      std::vector<char> orphan(n, 0);
+      for (const auto& mcv : broken.primary.mcvs) {
+        if (!mcv.aborted) continue;
+        t1 = std::min(t1, mcv.return_time);
+        for (std::uint32_t s : mcv.skipped) orphan[s] = 1;
+      }
+      for (std::size_t j = 0; j < outcome.primary.mcvs.size(); ++j) {
+        const auto& mcv = outcome.primary.mcvs[j];
+        std::size_t i = 0;
+        for (const auto& s : mcv.sojourns) {
+          if (orphan[s.location]) {
+            EXPECT_GE(s.start, t1 - 1e-9);
+          } else if (!mcv.aborted) {
+            const auto& orig = broken.primary.mcvs[j].sojourns;
+            ASSERT_LT(i, orig.size());
+            if (orig[i].start <= t1) {
+              EXPECT_DOUBLE_EQ(s.start, orig[i].start);
+              EXPECT_DOUBLE_EQ(s.finish, orig[i].finish);
+            }
+            ++i;
+          }
+        }
+      }
+    }
   }
 }
 

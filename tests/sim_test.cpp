@@ -322,7 +322,46 @@ TEST(Simulate, BusyFractionMatchesRoundsLogWithCensoredRound) {
               round.dispatch_time;
     }
   }
+  // A censored round still covers the horizon: the denominator stays T_M.
+  EXPECT_EQ(result.truncated_reason, TruncationReason::kHorizonMidRound);
   EXPECT_DOUBLE_EQ(busy / config.monitoring_period_s, result.busy_fraction);
+  EXPECT_LE(result.busy_fraction, 1.0);
+}
+
+TEST(Simulate, BusyFractionScalesByElapsedTimeOnMaxRoundsTruncation) {
+  // A run cut off by the round budget has only simulated the prefix up to
+  // the fleet's last return; dividing its busy seconds by the full-year
+  // horizon would report near-zero utilization for a fleet that was in
+  // fact out almost continuously.
+  auto instance = tiny_instance(80, 22);
+  for (auto& w : instance.consumption_w) w *= 6.0;  // saturate one MCV
+  instance.config.num_chargers = 1;
+  core::ApproScheduler appro;
+  SimConfig config;
+  config.record_rounds = true;
+  config.max_rounds = 6;  // stop long before the year ends
+  const auto result = simulate(instance, appro, config);
+  ASSERT_EQ(result.rounds, 6u);
+  ASSERT_EQ(result.truncated_reason, TruncationReason::kMaxRounds);
+  const double horizon = config.monitoring_period_s;
+  double busy = 0.0;
+  double ready = 0.0;  // the fleet's availability instant after each round
+  for (const auto& round : result.rounds_log) {
+    if (round.longest_delay_s > 0.0) {
+      busy += std::min(round.dispatch_time + round.longest_delay_s, horizon) -
+              round.dispatch_time;
+      ready = round.dispatch_time + round.longest_delay_s;
+    } else {
+      ready = round.dispatch_time + config.empty_round_backoff_s;
+    }
+  }
+  ASSERT_GT(busy, 0.0);
+  ASSERT_LT(ready, horizon) << "instance ran the full horizon; the "
+                               "kMaxRounds case is untested";
+  // The denominator is the elapsed simulated time (the fleet's last
+  // return), not the full horizon the run never reached.
+  EXPECT_DOUBLE_EQ(result.busy_fraction, busy / std::min(ready, horizon));
+  EXPECT_GT(result.busy_fraction, busy / horizon);
   EXPECT_LE(result.busy_fraction, 1.0);
 }
 
