@@ -22,6 +22,11 @@
 //                   fill; default 0 = the scheduler's own configuration).
 //                   Byte-identical for every N, same caveat as --sim-jobs:
 //                   only pays when one huge instance dominates.
+//   --mcv-budget=J  usable MCV battery capacity in joules (default 0 =
+//                   unlimited). Enabling it routes every round through the
+//                   budgeted executor: tours that would overdraw abort at
+//                   the exhaustion point and the orphaned stops are pushed
+//                   to the next round (RecoveryPolicy::kDefer).
 //   --csv=PREFIX    also write PREFIX_a.csv / PREFIX_b.csv
 //   --shard=i/N     run only work items with global index = i mod N and
 //                   write a chunk file instead of tables (requires --chunk).
@@ -83,6 +88,9 @@ struct SweepSettings {
   /// Defaults to 0 = the scheduler's own configuration, for the same
   /// reason as sim_jobs. Never affects the numbers, only speed.
   std::size_t plan_jobs = 0;
+  /// MCV battery capacity in joules; 0 (default) = unlimited, taking the
+  /// unbudgeted simulator path byte for byte (SimConfig::mcv_budget).
+  double mcv_budget_j = 0.0;
   std::string csv_prefix;  ///< empty = no CSV files
   /// Sensor placement. The paper uses uniform; --layout=clustered/grid
   /// checks that the conclusions survive other deployment shapes.
@@ -102,6 +110,7 @@ struct SweepSettings {
     s.jobs = static_cast<std::size_t>(flags.get_int("jobs", 0));
     s.sim_jobs = static_cast<std::size_t>(flags.get_int("sim-jobs", 1));
     s.plan_jobs = static_cast<std::size_t>(flags.get_int("plan-jobs", 0));
+    s.mcv_budget_j = flags.get_double("mcv-budget", 0.0);
     s.csv_prefix = flags.get("csv", "");
     const std::string layout = flags.get("layout", "uniform");
     if (layout == "clustered") s.layout = model::FieldLayout::kClustered;
@@ -163,6 +172,7 @@ std::vector<ItemSample> run_point_samples(
   sim_config.monitoring_period_s = settings.months * 30.0 * 86400.0;
   sim_config.jobs = settings.sim_jobs;
   sim_config.plan_jobs = settings.plan_jobs;
+  sim_config.mcv_budget.capacity_j = settings.mcv_budget_j;
 
   const std::size_t num_algos = algorithms.size();
   const std::size_t stride = settings.instances * num_algos;

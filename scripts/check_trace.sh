@@ -135,4 +135,41 @@ else
   echo "phase regression: SKIPPED (python3 or BENCH_micro.json unavailable)"
 fi
 
+# ---- 4. sparse blossom warm-start regression gate --------------------
+# BM_Blossom/1024/1 regressed once before (warm re-solves whose exit
+# duals priced dirty forced an extra full solve round); this gate trips
+# if the sparse engine drifts more than 1.35x from the checked-in
+# baseline — roughly the 70 ms budget at 1024 — while staying loose
+# enough to absorb shared-runner noise.
+if command -v python3 >/dev/null 2>&1 && [ -f BENCH_micro.json ]; then
+  "$BUILD_DIR/bench/micro_algorithms" \
+    --benchmark_filter='BM_Blossom/1024/1$' \
+    --benchmark_format=json \
+    --benchmark_out="$TMP/blossom1024.json" \
+    --benchmark_out_format=json >/dev/null
+  python3 - "$TMP/blossom1024.json" BENCH_micro.json <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    run = json.load(f)
+with open(sys.argv[2]) as f:
+    bench = json.load(f)
+cur = next(b for b in run["benchmarks"] if b["name"] == "BM_Blossom/1024/1")
+ref = [b for b in bench["benchmarks"] if b["name"] == "BM_Blossom/1024/1"]
+if not ref:
+    print("blossom gate: SKIPPED (no BM_Blossom/1024/1 in baseline)")
+    sys.exit(0)
+unit = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
+cur_s = cur["real_time"] * unit[cur["time_unit"]]
+ref_s = ref[0]["real_time"] * unit[ref[0]["time_unit"]]
+ratio = cur_s / ref_s
+print("BM_Blossom/1024/1: run=%.1fms baseline=%.1fms ratio=%.3f" %
+      (cur_s * 1e3, ref_s * 1e3, ratio))
+assert ratio < 1.35, \
+    f"sparse blossom at 1024 drifted {ratio:.3f}x from BENCH_micro baseline"
+EOF
+else
+  echo "blossom gate: SKIPPED (python3 or BENCH_micro.json unavailable)"
+fi
+
 echo "trace checks: all passed"

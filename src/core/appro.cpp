@@ -227,6 +227,16 @@ sched::ChargingPlan ApproScheduler::plan_with_stats(
   }
   tsp::MinMaxTourOptions tour_options = options_.tour;
   if (tour_options.jobs == 0) tour_options.jobs = options_.jobs;
+  if (options_.mcv_budget.enabled() && !tour_options.energy.enabled()) {
+    // Price the split's segments in the executor's battery units: a
+    // second of driving burns move-cost x speed joules, a second of
+    // charging service radiates rate / efficiency joules.
+    tour_options.energy.budget_j = options_.mcv_budget.capacity_j;
+    tour_options.energy.travel_power_w =
+        options_.mcv_budget.move_cost_j_per_m * problem.speed();
+    tour_options.energy.service_power_w =
+        problem.charging_rate_w() / options_.mcv_budget.transfer_efficiency;
+  }
   tsp::SplitResult split;
   {
     OBS_SPAN("appro.k_tours");

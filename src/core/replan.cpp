@@ -203,8 +203,11 @@ RecoveryOutcome recover_round(const model::ChargingProblem& problem,
   // (same jitter draws), but the broken execution did not. Comparing
   // against the intended execution — not against full coverage — keeps
   // the notion correct for baseline plans that legitimately skip sensors.
+  // The energy budget is lifted too: an energy-exhaustion abort orphans
+  // its remaining stops exactly like a coin-flip breakdown does.
   sched::ExecutionFaults no_break = faults;
   no_break.breakdown_after.clear();
+  no_break.budget = energy::McvBudgetSpec{};
   const sched::ChargingSchedule intended =
       sched::execute_plan(problem, plan, no_break);
   std::vector<std::uint32_t> orphans;
@@ -239,13 +242,12 @@ RecoveryOutcome recover_round(const model::ChargingProblem& problem,
       const auto& mcv = out.primary.mcvs[k];
       if (mcv.aborted) {
         // Keep only the completed prefix so the orphaned stops can be
-        // reassigned without breaking node-disjointness; the breakdown
-        // index still truncates the tour at exactly the same sojourn.
+        // reassigned without breaking node-disjointness. The completed
+        // sojourn count truncates the tour at exactly the breakdown
+        // sojourn for a coin-flip abort and at the unaffordable stop for
+        // an energy abort (whose breakdown_of is kNoBreakdown).
         for (std::uint32_t s : mcv.skipped) orphan_stops.push_back(s);
-        patched.tours[k].resize(
-            std::min<std::size_t>(faults.breakdown_of(
-                                      static_cast<std::uint32_t>(k)),
-                                  plan.tours[k].size()));
+        patched.tours[k].resize(mcv.sojourns.size());
         cut[k] = std::numeric_limits<std::size_t>::max();  // ineligible
       } else {
         for (const auto& s : mcv.sojourns) {
@@ -305,11 +307,13 @@ RecoveryOutcome recover_round(const model::ChargingProblem& problem,
     resume.depart_at.assign(plan.tours.size(), 0.0);
     resume.leg_offset.assign(plan.tours.size(), 0);
     resume.charged.assign(problem.size(), 0);
+    std::vector<std::size_t> prefix_lens(plan.tours.size(), 0);
     for (std::size_t k = 0; k < plan.tours.size(); ++k) {
       const auto& mcv = out.primary.mcvs[k];
       const std::size_t prefix_len =
           mcv.aborted ? mcv.sojourns.size() : std::min(cut[k],
                                                        mcv.sojourns.size());
+      prefix_lens[k] = prefix_len;
       for (std::size_t i = 0; i < prefix_len; ++i) {
         const auto& s = mcv.sojourns[i];
         for (std::uint32_t u : s.charged) resume.charged[u] = 1;
@@ -338,9 +342,17 @@ RecoveryOutcome recover_round(const model::ChargingProblem& problem,
       }
     }
     // Same jitter draws, but the breakdowns already happened in the
-    // prefix — the suffix must not truncate again.
+    // prefix — the suffix must not truncate again. The energy budget
+    // stays in force (a survivor's battery does not refill mid-round):
+    // each battery resumes from the joules its frozen prefix left, so a
+    // grafted detour can itself exhaust a survivor — another
+    // kEnergyExhausted abort, whose stops simply defer to the next round.
     sched::ExecutionFaults resume_faults = faults;
     resume_faults.breakdown_after.clear();
+    if (faults.budget.enabled()) {
+      resume.energy_left = sched::prefix_energy_left(
+          problem, out.primary, prefix_lens, faults.budget);
+    }
     const sched::ChargingSchedule resumed =
         sched::execute_plan(problem, suffix, resume_faults, resume);
 
@@ -363,11 +375,24 @@ RecoveryOutcome recover_round(const model::ChargingProblem& problem,
       if (suffix.tours[k].empty()) {
         m.sojourns = orig.sojourns;
         m.return_time = orig.return_time;
+        m.energy_spent_j = orig.energy_spent_j;
       } else {
         const auto& res = resumed.mcvs[k];
         m.sojourns.insert(m.sojourns.end(), res.sojourns.begin(),
                           res.sojourns.end());
-        m.return_time = res.return_time;
+        // The suffix battery resumed from the prefix's joules, so its
+        // spend is already cumulative over the whole round — and under a
+        // tight budget the suffix itself may have aborted. An abort before
+        // the first suffix stop reports the suffix-local instant 0; the
+        // merged tour ends at its last completed sojourn instead.
+        m.return_time = res.aborted
+                            ? (m.sojourns.empty() ? 0.0
+                                                  : m.sojourns.back().finish)
+                            : res.return_time;
+        m.energy_spent_j = res.energy_spent_j;
+        m.aborted = res.aborted;
+        m.abort_cause = res.abort_cause;
+        m.skipped = res.skipped;
       }
     }
     for (const auto& mcv : merged.mcvs) {
@@ -376,6 +401,11 @@ RecoveryOutcome recover_round(const model::ChargingProblem& problem,
       }
     }
     out.primary = std::move(merged);
+    // A grafted detour can exhaust a survivor's battery, so the suffix
+    // may have added failures the pre-graft count missed. Without a
+    // budget the suffix cannot abort (its breakdowns are cleared) and
+    // this recount is a no-op.
+    out.stats.breakdowns = out.primary.num_aborted();
   } else {
     // kReplan: once the last breakdown is known (t_rec), recall every
     // survivor after the stop it is executing, then run a fresh
@@ -406,6 +436,22 @@ RecoveryOutcome recover_round(const model::ChargingProblem& problem,
     for (const auto& mcv : kept.mcvs) {
       for (const auto& s : mcv.sojourns) {
         for (std::uint32_t u : s.charged) kept.charged_at[u] = s.finish;
+      }
+    }
+    if (faults.budget.enabled()) {
+      // A recalled survivor's tour was truncated above, so its energy
+      // account must be re-settled to the recall point (the primary
+      // execution's figure includes sojourns that now never happen).
+      std::vector<std::size_t> kept_len(kept.mcvs.size(), 0);
+      for (std::size_t k = 0; k < kept.mcvs.size(); ++k) {
+        kept_len[k] = kept.mcvs[k].sojourns.size();
+      }
+      const std::vector<double> left =
+          sched::prefix_energy_left(problem, kept, kept_len, faults.budget);
+      for (std::size_t k = 0; k < kept.mcvs.size(); ++k) {
+        if (kept.mcvs[k].aborted && !out.primary.mcvs[k].aborted) {
+          kept.mcvs[k].energy_spent_j = faults.budget.capacity_j - left[k];
+        }
       }
     }
     // The recovery wave starts after every kept sojourn has finished and

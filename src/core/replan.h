@@ -91,9 +91,15 @@ struct RecoveryOutcome {
 
 /// Executes `plan` under `faults` and applies `policy` to whatever the
 /// breakdowns orphaned. With no breakdown in `faults` this is exactly
-/// execute_plan(problem, plan, faults) wrapped in an outcome. The recovery
-/// wave (kReplan) always uses multi-node charging and runs fault-free: at
-/// most one fault event per MCV per round.
+/// execute_plan(problem, plan, faults) wrapped in an outcome. An enabled
+/// energy budget (faults.budget) feeds the same machinery: exhaustion
+/// aborts orphan their remaining stops just like coin-flip breakdowns,
+/// and a grafted survivor resumes with the joules its prefix left (its
+/// battery does not refill mid-round), so a graft detour can exhaust it
+/// again. The recovery wave (kReplan) always uses multi-node charging and
+/// runs fault-free AND budget-free: at most one fault event per MCV per
+/// round, and the wave departs the depot fully recharged — its energy
+/// feasibility is the planner's job, not the executor's.
 RecoveryOutcome recover_round(const model::ChargingProblem& problem,
                               const sched::ChargingPlan& plan,
                               const sched::ExecutionFaults& faults,

@@ -1,30 +1,37 @@
 #include "energy/battery.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace mcharge::energy {
 
 Battery::Battery(double capacity_joules, double initial_level)
     : capacity_(capacity_joules) {
-  MCHARGE_ASSERT(capacity_joules >= 0.0, "battery capacity must be >= 0");
+  MCHARGE_ASSERT(std::isfinite(capacity_joules) && capacity_joules >= 0.0,
+                 "battery capacity must be finite and >= 0");
   set_level(initial_level);
 }
 
 double Battery::drain(double joules) {
-  MCHARGE_ASSERT(joules >= 0.0, "drain amount must be >= 0");
+  MCHARGE_ASSERT(std::isfinite(joules) && joules >= 0.0,
+                 "drain amount must be finite and >= 0");
   const double removed = std::min(joules, level_);
   level_ -= removed;
   return removed;
 }
 
 double Battery::charge(double joules) {
-  MCHARGE_ASSERT(joules >= 0.0, "charge amount must be >= 0");
+  MCHARGE_ASSERT(std::isfinite(joules) && joules >= 0.0,
+                 "charge amount must be finite and >= 0");
   const double stored = std::min(joules, deficit());
   level_ += stored;
   return stored;
 }
 
 void Battery::set_level(double joules) {
+  // std::clamp passes NaN straight through (both comparisons are false),
+  // so a NaN level would silently poison every later drain/charge.
+  MCHARGE_ASSERT(std::isfinite(joules), "battery level must be finite");
   level_ = std::clamp(joules, 0.0, capacity_);
 }
 

@@ -16,19 +16,23 @@ class Battery {
   double capacity() const { return capacity_; }
   double level() const { return level_; }
   double deficit() const { return capacity_ - level_; }
-  /// Fraction of capacity remaining, in [0, 1].
+  /// Fraction of capacity remaining, in [0, 1]. A zero-capacity battery
+  /// reads 0.0 — permanently empty, not an error. Callers that treat
+  /// "empty" as a live, chargeable state must reject zero capacities up
+  /// front (sim/validate.h does, with ConfigErrorCode::kBadCapacity).
   double fraction() const { return capacity_ > 0.0 ? level_ / capacity_ : 0.0; }
   bool empty() const { return level_ <= 0.0; }
   bool full() const { return level_ >= capacity_; }
 
-  /// Removes `joules` (>= 0); returns the amount actually removed (may be
-  /// less if the battery hits empty).
+  /// Removes `joules` (finite, >= 0; asserted); returns the amount
+  /// actually removed (may be less if the battery hits empty).
   double drain(double joules);
 
-  /// Adds `joules` (>= 0); returns the amount actually stored.
+  /// Adds `joules` (finite, >= 0; asserted); returns the amount actually
+  /// stored.
   double charge(double joules);
 
-  /// Sets the level directly (clamped to [0, capacity]).
+  /// Sets the level directly (finite; clamped to [0, capacity]).
   void set_level(double joules);
 
  private:

@@ -238,12 +238,42 @@ class BlossomCore {
   int partner(int v) const { return match_[v]; }
   std::int64_t dual2(int v) const { return lab_[v]; }
 
+  /// Exports, for every real vertex v, the chain of surviving blossoms
+  /// containing v at termination — outermost first — as (id, doubled z_B)
+  /// pairs written to chains[v - 1] (cleared for blossom-free vertices).
+  /// The complete-graph dual constraint of a pair (u, v) carries the z of
+  /// exactly the blossoms containing BOTH, i.e. the common prefix of the
+  /// two chains; pricing on labels alone spuriously flags close
+  /// intra-blossom pairs, whose z mass can sit at any nesting depth.
+  void export_blossom_chains(
+      std::vector<std::vector<std::pair<std::int32_t, std::int64_t>>>& chains)
+      const {
+    for (auto& c : chains) c.clear();
+    std::vector<std::pair<std::int32_t, std::int64_t>> stack;
+    for (int b = n_ + 1; b <= n_x_; ++b) {
+      if (st_[b] == b) chain_dfs(b, stack, chains);
+    }
+  }
+
  private:
   static constexpr std::int64_t kI64Max =
       std::numeric_limits<std::int64_t>::max();
 
   static BlossomEdge flip(BlossomEdge e) { return {e.v, e.u}; }
   int slot(int b) const { return b - n_ - 1; }
+
+  void chain_dfs(
+      int x, std::vector<std::pair<std::int32_t, std::int64_t>>& stack,
+      std::vector<std::vector<std::pair<std::int32_t, std::int64_t>>>& chains)
+      const {
+    if (x <= n_) {
+      chains[x - 1].assign(stack.begin(), stack.end());
+      return;
+    }
+    stack.emplace_back(x, lab_[x]);
+    for (const std::int32_t y : a_.flower[slot(x)]) chain_dfs(y, stack, chains);
+    stack.pop_back();
+  }
   std::vector<std::int32_t>& flower(int b) { return a_.flower[slot(b)]; }
 
   void ensure_brow(int b) {

@@ -73,13 +73,44 @@ void resolve_starts(const model::ChargingProblem& problem,
 /// the last completed sojourn's finish (or the start instant for pos = 0)
 /// and every remaining planned stop is recorded as skipped.
 void abort_tour(const ChargingPlan& plan, std::uint32_t k, std::size_t pos,
-                McvSchedule* mcv) {
+                McvSchedule* mcv,
+                BreakdownCause cause = BreakdownCause::kFault) {
   mcv->aborted = true;
+  mcv->abort_cause = cause;
   mcv->return_time =
       mcv->sojourns.empty() ? 0.0 : mcv->sojourns.back().finish;
   const auto& tour = plan.tours[k];
   mcv->skipped.assign(tour.begin() + static_cast<std::ptrdiff_t>(pos),
                       tour.end());
+}
+
+/// Battery debit of committing a sojourn: the arrival leg's locomotion
+/// energy plus the sojourn's transfer energy, as one all-or-nothing sum.
+/// `duration` must be the recorded finish - start (so a resume replay of
+/// the sojourn record reproduces the exact same bits).
+double sojourn_energy_j(const model::ChargingProblem& problem,
+                        const energy::McvBudgetSpec& spec, geom::Point from,
+                        std::uint32_t loc, double duration) {
+  return spec.travel_cost_j(geom::distance(from, problem.position(loc))) +
+         spec.transfer_cost_j(duration * problem.charging_rate_w());
+}
+
+/// Per-MCV batteries for one execution, seeded from a resume prefix when
+/// one is given. Empty when the budget is disabled — the caller must then
+/// skip every energy branch so the unbudgeted path stays untouched.
+std::vector<energy::McvBattery> make_batteries(const ChargingPlan& plan,
+                                               const ExecutionFaults& faults,
+                                               const ResumeState& resume) {
+  std::vector<energy::McvBattery> batteries;
+  if (!faults.budget.enabled()) return batteries;
+  batteries.reserve(plan.tours.size());
+  for (std::size_t k = 0; k < plan.tours.size(); ++k) {
+    batteries.emplace_back(faults.budget);
+    if (k < resume.energy_left.size()) {
+      batteries.back().set_level(resume.energy_left[k]);
+    }
+  }
+  return batteries;
 }
 
 ChargingSchedule execute_multinode(const model::ChargingProblem& problem,
@@ -114,6 +145,14 @@ ChargingSchedule execute_multinode(const model::ChargingProblem& problem,
   for (const auto& b : resume.busy) {
     log.push_back({b.mcv, b.location, b.start, b.finish});
   }
+
+  // Energy budget: one battery per MCV, full (or resume-seeded) at the
+  // round start. Empty vector when the budget is disabled; every energy
+  // branch below is gated on budget_on so the unbudgeted execution is
+  // exactly the pre-budget code path.
+  const bool budget_on = faults.budget.enabled();
+  std::vector<energy::McvBattery> battery =
+      make_batteries(plan, faults, resume);
 
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
   for (std::uint32_t k = 0; k < plan.tours.size(); ++k) {
@@ -167,6 +206,28 @@ ChargingSchedule execute_multinode(const model::ChargingProblem& problem,
       }
     }
 
+    // Energy gate: committing this sojourn costs the arrival leg's
+    // locomotion energy plus the transfer energy, debited together so an
+    // exhausted MCV never goes energy-negative mid-action. An unaffordable
+    // debit ends the tour here — the vehicle would run dry en route — as
+    // a deterministic, cause-tagged breakdown feeding the same recovery
+    // machinery as the coin-flip ones. Checked only after the conflict
+    // wait resolved: waiting draws nothing, so a re-queued event must not
+    // debit twice.
+    if (budget_on) {
+      const geom::Point from =
+          ev.tour_pos == 0 ? plan.start_of(ev.mcv, problem.depot())
+                           : problem.position(tour[ev.tour_pos - 1]);
+      const double need = sojourn_energy_j(problem, faults.budget, from, loc,
+                                           (start + duration) - start);
+      if (!battery[ev.mcv].draw(need)) {
+        OBS_COUNT("exec.energy_aborts", 1);
+        abort_tour(plan, ev.mcv, ev.tour_pos, &schedule.mcvs[ev.mcv],
+                   BreakdownCause::kEnergyExhausted);
+        continue;
+      }
+    }
+
     // Commit the sojourn.
     Sojourn sojourn;
     sojourn.location = loc;
@@ -197,10 +258,26 @@ ChargingSchedule execute_multinode(const model::ChargingProblem& problem,
                    loc, tour[ev.tour_pos + 1]);
       events.push({start + duration + travel, ev.mcv, ev.tour_pos + 1});
     } else {
+      if (budget_on &&
+          !battery[ev.mcv].draw(faults.budget.travel_cost_j(
+              geom::distance(problem.position(loc), problem.depot())))) {
+        // Not enough energy for the depot-return leg: the MCV strands in
+        // the field with its tour complete (skipped stays empty).
+        OBS_COUNT("exec.energy_aborts", 1);
+        abort_tour(plan, ev.mcv, tour.size(), &schedule.mcvs[ev.mcv],
+                   BreakdownCause::kEnergyExhausted);
+        continue;
+      }
       schedule.mcvs[ev.mcv].return_time =
           start + duration +
           return_leg(problem, faults, ev.mcv, offset(ev.mcv) + tour.size(),
                      loc);
+    }
+  }
+
+  if (budget_on) {
+    for (std::size_t k = 0; k < schedule.mcvs.size(); ++k) {
+      schedule.mcvs[k].energy_spent_j = battery[k].spent();
     }
   }
 
@@ -250,6 +327,10 @@ ChargingSchedule execute_one_to_one(const model::ChargingProblem& problem,
           {start_leg(problem, plan, faults, k, plan.tours[k][0], 0), k, 0});
     }
   }
+  const bool budget_on = faults.budget.enabled();
+  std::vector<energy::McvBattery> battery =
+      make_batteries(plan, faults, ResumeState{});
+
   std::vector<char> committed(problem.size(), 0);
   while (!events.empty()) {
     const Event ev = events.top();
@@ -257,17 +338,36 @@ ChargingSchedule execute_one_to_one(const model::ChargingProblem& problem,
     const auto& tour = plan.tours[ev.mcv];
     const std::uint32_t loc = tour[ev.tour_pos];
 
-    Sojourn sojourn;
-    sojourn.location = loc;
-    sojourn.arrival = ev.time;
-    sojourn.start = ev.time;
+    const bool fresh = !committed[loc];
     double duration = 0.0;
-    if (!committed[loc]) {
-      committed[loc] = 1;
+    if (fresh) {
       duration = problem.charge_seconds(loc);
       if (faults.charge_multiplier) {
         duration *= faults.charge_multiplier(loc);
       }
+    }
+
+    // Energy gate — same all-or-nothing debit as the multi-node executor.
+    if (budget_on) {
+      const geom::Point from =
+          ev.tour_pos == 0 ? plan.start_of(ev.mcv, problem.depot())
+                           : problem.position(tour[ev.tour_pos - 1]);
+      const double need = sojourn_energy_j(problem, faults.budget, from, loc,
+                                           (ev.time + duration) - ev.time);
+      if (!battery[ev.mcv].draw(need)) {
+        OBS_COUNT("exec.energy_aborts", 1);
+        abort_tour(plan, ev.mcv, ev.tour_pos, &schedule.mcvs[ev.mcv],
+                   BreakdownCause::kEnergyExhausted);
+        continue;
+      }
+    }
+
+    Sojourn sojourn;
+    sojourn.location = loc;
+    sojourn.arrival = ev.time;
+    sojourn.start = ev.time;
+    if (fresh) {
+      committed[loc] = 1;
       sojourn.charged = {loc};
       schedule.charged_at[loc] = ev.time + duration;
     }
@@ -284,9 +384,22 @@ ChargingSchedule execute_one_to_one(const model::ChargingProblem& problem,
                                      loc, tour[ev.tour_pos + 1]);
       events.push({ev.time + duration + travel, ev.mcv, ev.tour_pos + 1});
     } else {
+      if (budget_on &&
+          !battery[ev.mcv].draw(faults.budget.travel_cost_j(
+              geom::distance(problem.position(loc), problem.depot())))) {
+        OBS_COUNT("exec.energy_aborts", 1);
+        abort_tour(plan, ev.mcv, tour.size(), &schedule.mcvs[ev.mcv],
+                   BreakdownCause::kEnergyExhausted);
+        continue;
+      }
       schedule.mcvs[ev.mcv].return_time =
           ev.time + duration +
           return_leg(problem, faults, ev.mcv, tour.size(), loc);
+    }
+  }
+  if (budget_on) {
+    for (std::size_t k = 0; k < schedule.mcvs.size(); ++k) {
+      schedule.mcvs[k].energy_spent_j = battery[k].spent();
     }
   }
   return schedule;
@@ -342,6 +455,32 @@ ChargingSchedule execute_plan(const model::ChargingProblem& problem,
     }
   }
   return execute_multinode(problem, plan, faults, resume);
+}
+
+std::vector<double> prefix_energy_left(
+    const model::ChargingProblem& problem, const ChargingSchedule& schedule,
+    const std::vector<std::size_t>& prefix_len,
+    const energy::McvBudgetSpec& spec) {
+  MCHARGE_ASSERT(prefix_len.size() == schedule.mcvs.size(),
+                 "one prefix length per MCV");
+  std::vector<double> left(schedule.mcvs.size(), spec.capacity_j);
+  if (!spec.enabled()) return left;
+  for (std::size_t k = 0; k < schedule.mcvs.size(); ++k) {
+    const auto& mcv = schedule.mcvs[k];
+    energy::McvBattery battery(spec);
+    geom::Point from =
+        k < schedule.starts.size() ? schedule.starts[k] : problem.depot();
+    const std::size_t p = std::min(prefix_len[k], mcv.sojourns.size());
+    for (std::size_t i = 0; i < p; ++i) {
+      const Sojourn& s = mcv.sojourns[i];
+      const bool ok = battery.draw(sojourn_energy_j(
+          problem, spec, from, s.location, s.finish - s.start));
+      MCHARGE_ASSERT(ok, "an executed prefix sojourn must have been paid for");
+      from = problem.position(s.location);
+    }
+    left[k] = battery.level();
+  }
+  return left;
 }
 
 }  // namespace mcharge::sched

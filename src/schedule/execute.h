@@ -28,6 +28,7 @@
 #include <limits>
 #include <vector>
 
+#include "energy/mcv_battery.h"
 #include "model/charging_problem.h"
 #include "schedule/plan.h"
 
@@ -53,6 +54,17 @@ struct ExecutionFaults {
   /// Multiplicative charging-duration factor for a sojourn parked at
   /// `location`. Null = 1 everywhere.
   std::function<double(std::uint32_t location)> charge_multiplier;
+  /// Per-MCV energy budget (energy/mcv_battery.h). Disabled (the default)
+  /// = unlimited energy and zero accounting overhead. Enabled: every MCV
+  /// starts the round with a full battery, each sojourn draws its arrival
+  /// leg's locomotion energy plus the sojourn's transfer energy as one
+  /// all-or-nothing debit, and the depot-return leg draws locomotion
+  /// energy; an unaffordable debit aborts the tour *deterministically*
+  /// with BreakdownCause::kEnergyExhausted — the same partial-schedule /
+  /// recovery machinery as the coin-flip breakdowns. Unlike jitter, the
+  /// draws depend on driven meters, not travel time, so travel jitter
+  /// never changes the energy outcome.
+  energy::McvBudgetSpec budget;
 
   std::uint32_t breakdown_of(std::uint32_t mcv) const {
     return mcv < breakdown_after.size() ? breakdown_after[mcv] : kNoBreakdown;
@@ -72,7 +84,7 @@ struct ExecutionFaults {
   /// True when this bundle can change anything about the execution.
   bool any() const {
     return has_breakdown() || travel_multiplier != nullptr ||
-           charge_multiplier != nullptr;
+           charge_multiplier != nullptr || budget.enabled();
   }
 };
 
@@ -106,6 +118,12 @@ struct ResumeState {
   std::vector<char> charged;
   /// Prefix sojourns with positive duration (conflict-detection seed).
   std::vector<Busy> busy;
+  /// Per MCV: joules left in the battery after the executed prefix
+  /// (seed with prefix_energy_left()). Empty = full battery / budget
+  /// disabled. The suffix execution continues draining from here, so the
+  /// merged schedule's energy account is bit-identical to one
+  /// uninterrupted execution of the merged tours.
+  std::vector<double> energy_left;
 };
 
 /// Executes `plan` against `problem`. The plan may reference each sensor
@@ -130,5 +148,16 @@ ChargingSchedule execute_plan(const model::ChargingProblem& problem,
                               const ChargingPlan& plan,
                               const ExecutionFaults& faults,
                               const ResumeState& resume);
+
+/// Replays the energy draws of the first `prefix_len[k]` sojourns of each
+/// MCV in `schedule` under `spec` and returns the joules left per MCV —
+/// the ResumeState::energy_left seed for a graft resume. The replay
+/// applies exactly the executor's debit expression (arrival-leg meters +
+/// sojourn transfer, one subtraction per sojourn) in tour order, so the
+/// resumed battery holds bit-identical joules to a live execution.
+std::vector<double> prefix_energy_left(
+    const model::ChargingProblem& problem, const ChargingSchedule& schedule,
+    const std::vector<std::size_t>& prefix_len,
+    const energy::McvBudgetSpec& spec);
 
 }  // namespace mcharge::sched

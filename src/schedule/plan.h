@@ -56,6 +56,13 @@ struct Sojourn {
   double duration() const { return finish - start; }
 };
 
+/// Why a tour ended in the field instead of at the depot.
+enum class BreakdownCause {
+  kNone,             ///< not aborted, or a recovery recall (no fault)
+  kFault,            ///< coin-flip breakdown (ExecutionFaults::breakdown_after)
+  kEnergyExhausted,  ///< the MCV battery budget ran out mid-tour
+};
+
 /// The timed itinerary of one MCV.
 struct McvSchedule {
   std::vector<Sojourn> sojourns;
@@ -66,9 +73,16 @@ struct McvSchedule {
   /// stopped executing — no depot leg; vehicle retrieval is outside the
   /// delay metric.
   bool aborted = false;
+  /// What ended the tour early. kNone unless `aborted` — and stays kNone
+  /// for a recovery recall, which is an instruction, not a failure.
+  BreakdownCause abort_cause = BreakdownCause::kNone;
   /// Planned stops this MCV never visited (tour order). Empty unless
   /// `aborted`. Another MCV may still visit them (recovery grafting).
   std::vector<std::uint32_t> skipped;
+  /// Joules drawn from the MCV battery over the round, cumulative across
+  /// a graft resume (prefix + suffix). 0 unless the execution ran under
+  /// an enabled energy::McvBudgetSpec (execute.h).
+  double energy_spent_j = 0.0;
 };
 
 inline constexpr double kNeverCharged = std::numeric_limits<double>::infinity();

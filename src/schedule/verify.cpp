@@ -126,6 +126,49 @@ std::vector<std::string> verify_schedule(const model::ChargingProblem& problem,
     }
   }
 
+  // --- MCV energy budget (only for executions under an enabled budget).
+  // Re-derived from the raw sojourn records with the executor's draw
+  // model: arrival-leg meters + radiated energy per sojourn, plus the
+  // depot-return leg for tours that made it home. Two checks per MCV:
+  // the round must fit the battery, and the executor's own account
+  // (energy_spent_j) must agree with the recomputation.
+  if (options.faults && options.faults->budget.enabled()) {
+    const energy::McvBudgetSpec& budget = options.faults->budget;
+    const double tol_j = 1e-6 * std::max(1.0, budget.capacity_j);
+    for (std::uint32_t k = 0; k < schedule.mcvs.size(); ++k) {
+      const auto& mcv = schedule.mcvs[k];
+      if (mcv.abort_cause != BreakdownCause::kNone && !mcv.aborted) {
+        violations.push_back(fmt("phantom breakdown cause", k, 0,
+                                 "abort_cause set on a completed tour"));
+      }
+      double spent = 0.0;
+      geom::Point prev =
+          k < schedule.starts.size() ? schedule.starts[k] : problem.depot();
+      for (const Sojourn& s : mcv.sojourns) {
+        if (s.location >= problem.size()) continue;  // reported above
+        spent += budget.travel_cost_j(
+            geom::distance(prev, problem.position(s.location)));
+        spent +=
+            budget.transfer_cost_j(s.duration() * problem.charging_rate_w());
+        prev = problem.position(s.location);
+      }
+      if (!mcv.aborted && !mcv.sojourns.empty()) {
+        spent += budget.travel_cost_j(geom::distance(prev, problem.depot()));
+      }
+      if (spent > budget.capacity_j + tol_j) {
+        violations.push_back(fmt("energy budget exceeded", k,
+                                 mcv.sojourns.size(),
+                                 "tour draws more than the MCV battery"));
+      }
+      if (std::abs(spent - mcv.energy_spent_j) > tol_j) {
+        violations.push_back(fmt("energy accounting mismatch", k,
+                                 mcv.sojourns.size(),
+                                 "reported energy_spent_j disagrees with "
+                                 "the recomputed draw"));
+      }
+    }
+  }
+
   // --- Coverage. ---
   if (options.require_full_coverage) {
     for (std::uint32_t u = 0; u < problem.size(); ++u) {

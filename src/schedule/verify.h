@@ -39,7 +39,12 @@ struct VerifyOptions {
 ///    require_full_coverage;
 ///  * multi-node only: the no-simultaneous-charging constraint — no two
 ///    active sojourns of different MCVs with intersecting coverage disks
-///    may overlap in time.
+///    may overlap in time;
+///  * when options.faults carries an enabled MCV energy budget: each
+///    MCV's recomputed draw (arrival-leg locomotion + transfer energy per
+///    sojourn, + the depot-return leg unless aborted) fits the battery
+///    capacity and matches the executor-reported energy_spent_j, and no
+///    completed tour carries a breakdown cause.
 std::vector<std::string> verify_schedule(const model::ChargingProblem& problem,
                                          const ChargingSchedule& schedule,
                                          const VerifyOptions& options = {});

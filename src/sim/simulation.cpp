@@ -325,6 +325,12 @@ SimResult simulate(const model::WrsnInstance& instance,
     if (fault_model.enabled()) {
       round_fault = fault_model.round_faults(result.rounds, plan);
     }
+    // The energy budget rides the fault bundle: budget.enabled() makes
+    // round_fault.any() true, routing the round through recover_round so
+    // exhaustion aborts hit the same recovery machinery as breakdowns.
+    // MCVs recharge at the depot between rounds, so each round's bundle
+    // carries the full budget.
+    if (config.mcv_budget.enabled()) round_fault.budget = config.mcv_budget;
 
     sched::ChargingSchedule schedule;
     std::vector<double> merged_charged_at;
@@ -375,6 +381,29 @@ SimResult simulate(const model::WrsnInstance& instance,
       round_log.recovered = outcome.stats.recovered_sensors;
       round_log.deferred = outcome.stats.deferred_sensors;
       round_log.extra_delay_s = outcome.stats.extra_delay_s;
+      if (config.mcv_budget.enabled()) {
+        std::size_t exhausted = 0;
+        double spent_j = 0.0;
+        double max_tour_j = 0.0;
+        for (const auto& m : outcome.primary.mcvs) {
+          if (m.abort_cause == sched::BreakdownCause::kEnergyExhausted) {
+            ++exhausted;
+          }
+          spent_j += m.energy_spent_j;
+          max_tour_j = std::max(max_tour_j, m.energy_spent_j);
+          if (config.record_tour_energy) {
+            result.mcv_tour_energy_j.push_back(m.energy_spent_j);
+          }
+        }
+        result.mcv_energy_exhausted += exhausted;
+        result.mcv_energy_spent_j += spent_j;
+        result.mcv_energy_max_tour_j =
+            std::max(result.mcv_energy_max_tour_j, max_tour_j);
+        round_log.energy_aborts = exhausted;
+        round_log.energy_spent_j = spent_j;
+        round_log.energy_max_tour_j = max_tour_j;
+        OBS_COUNT("sim.energy_spent", std::llround(spent_j));
+      }
     } else {
       schedule = sched::execute_plan(problem, plan);
 

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/replan.h"
+#include "energy/mcv_battery.h"
 #include "model/network.h"
 #include "schedule/scheduler.h"
 #include "sim/faults.h"
@@ -77,8 +78,28 @@ struct SimConfig {
   /// its SimResult is byte-identical to a run without the fault layer.
   FaultConfig faults;
   /// What to do with the stops orphaned when an MCV breaks down mid-tour
-  /// (core/replan.h). Irrelevant while faults.mcv_breakdown_prob == 0.
+  /// (core/replan.h). Irrelevant while faults.mcv_breakdown_prob == 0 and
+  /// the energy budget below is disabled.
   core::RecoveryPolicy recovery = core::RecoveryPolicy::kDefer;
+  /// Finite per-MCV energy budget (energy/mcv_battery.h). Disabled (the
+  /// default, capacity_j == 0) takes exactly the unlimited-energy code
+  /// path, byte for byte. Enabled: every MCV departs each round with a
+  /// full battery (depot recharge between rounds), the executor debits
+  /// locomotion + transfer energy per sojourn, and an unaffordable debit
+  /// aborts the tour with BreakdownCause::kEnergyExhausted — routed
+  /// through the same `recovery` policy as coin-flip breakdowns. Purely
+  /// deterministic: budgeted runs are bit-identical across jobs, SIMD
+  /// backends and recovery-irrelevant knobs, independent of the fault
+  /// rates in `faults`.
+  energy::McvBudgetSpec mcv_budget;
+  /// Record every per-MCV tour draw (joules) into
+  /// SimResult::mcv_tour_energy_j, in round order and MCV order within a
+  /// round. Only meaningful with mcv_budget enabled (the budget-disabled
+  /// path never meters); off by default to keep long runs lean. Budget
+  /// sweeps use a metering run with an effectively unlimited capacity and
+  /// this flag on to learn the full draw distribution, then anchor the
+  /// swept capacities on its quantiles (bench/fault_ablation).
+  bool record_tour_energy = false;
   /// Enable the tracing layer (obs/obs.h) for the duration of this run:
   /// spans/counters across the planner, matching engine, executor and the
   /// simulator's own scans accumulate into the process-wide registry
@@ -96,10 +117,13 @@ struct RoundLog {
   std::size_t charged = 0;      ///< sensors actually charged
   double longest_delay_s = 0.0; ///< max_k T'(k) of the round
   double wait_s = 0.0;          ///< conflict waiting within the round
-  std::size_t breakdowns = 0;   ///< MCVs that failed this round
+  std::size_t breakdowns = 0;   ///< MCVs that failed this round (any cause)
   std::size_t recovered = 0;    ///< orphaned sensors charged anyway
   std::size_t deferred = 0;     ///< orphaned sensors pushed to next round
   double extra_delay_s = 0.0;   ///< recovery delay added this round
+  std::size_t energy_aborts = 0;  ///< breakdowns caused by battery exhaustion
+  double energy_spent_j = 0.0;    ///< fleet joules drawn this round
+  double energy_max_tour_j = 0.0; ///< heaviest single-MCV draw this round
 };
 
 /// Why a simulation stopped before cleanly exhausting its horizon.
@@ -146,11 +170,28 @@ struct SimResult {
   bool truncated = false;
   TruncationReason truncated_reason = TruncationReason::kNone;
   // --- Fault-layer accounting (all zero in a fault-free run). ---
-  std::size_t mcv_breakdowns = 0;   ///< MCV failures over the period
+  std::size_t mcv_breakdowns = 0;   ///< MCV failures over the period,
+                                    ///< energy exhaustions included
   std::size_t sensors_failed = 0;   ///< sensors that died permanently
   std::size_t recovered_sensors = 0;  ///< orphans charged by recovery
   std::size_t deferred_sensors = 0;   ///< orphans pushed to a later round
   double extra_recovery_delay_s = 0.0;  ///< total delay added by recovery
+  // --- Energy accounting (zero unless config.mcv_budget is enabled). ---
+  /// Tours aborted by battery exhaustion (subset of mcv_breakdowns).
+  std::size_t mcv_energy_exhausted = 0;
+  /// Total joules the fleet drew over the period, summed over the primary
+  /// execution of every round. The kReplan recovery wave departs the
+  /// depot recharged and runs budget-free, so its draw is not metered.
+  double mcv_energy_spent_j = 0.0;
+  /// Largest draw any single MCV made on one tour over the whole period —
+  /// the capacity at which no tour would have exhausted. Calibration
+  /// anchor for budget sweeps (bench/fault_ablation).
+  double mcv_energy_max_tour_j = 0.0;
+  /// Every per-MCV tour draw over the period (round order, MCV order
+  /// within a round) — filled iff config.record_tour_energy and the
+  /// budget is enabled. Sorting this gives the exact draw distribution a
+  /// sweep needs to place a capacity at a target abort quantile.
+  std::vector<double> mcv_tour_energy_j;
 
   double mean_longest_delay_hours() const {
     return round_longest_delay_s.mean() / 3600.0;

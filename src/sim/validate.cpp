@@ -101,6 +101,24 @@ std::optional<ConfigError> validate_sim_inputs(
                "faults.dispatch_delay_max_s must be >= 0 and finite");
   }
 
+  // MCV energy budget: 0 capacity disables the whole subsystem, but the
+  // cost-model fields must stay coherent even then (an enabled run built
+  // from a disabled template must not inherit a poisoned cost model).
+  const energy::McvBudgetSpec& b = config.mcv_budget;
+  if (!std::isfinite(b.capacity_j) || b.capacity_j < 0.0) {
+    return err(ConfigErrorCode::kBadMcvBudget,
+               "mcv_budget.capacity_j must be >= 0 and finite");
+  }
+  if (!std::isfinite(b.move_cost_j_per_m) || b.move_cost_j_per_m < 0.0) {
+    return err(ConfigErrorCode::kBadMcvBudget,
+               "mcv_budget.move_cost_j_per_m must be >= 0 and finite");
+  }
+  if (!std::isfinite(b.transfer_efficiency) || b.transfer_efficiency <= 0.0 ||
+      b.transfer_efficiency > 1.0) {
+    return err(ConfigErrorCode::kBadMcvBudget,
+               "mcv_budget.transfer_efficiency must be in (0, 1]");
+  }
+
   if (!std::isfinite(net.depot.x) || !std::isfinite(net.depot.y)) {
     return err(ConfigErrorCode::kNonFiniteSensorData,
                "depot position must be finite");

@@ -33,6 +33,7 @@ enum class ConfigErrorCode {
   kBadMaxRounds,         ///< max_rounds == 0
   kBadFaultConfig,       ///< fault probability/jitter out of range
   kNonFiniteSensorData,  ///< NaN/Inf position or bad consumption
+  kBadMcvBudget,         ///< MCV energy budget spec out of range
 };
 
 struct ConfigError {

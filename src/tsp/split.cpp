@@ -20,10 +20,17 @@ struct GreedyCut {
   std::vector<Tour> segments;
 };
 
-GreedyCut greedy_cut(const TourProblem& p, const Tour& tour, double budget) {
+GreedyCut greedy_cut(const TourProblem& p, const Tour& tour, double budget,
+                     const SegmentEnergyCap& cap) {
   GreedyCut result;
   Tour current;
   double internal = 0.0;  // travel within segment + service
+  // Energy bookkeeping (cap only): internal travel / service seconds,
+  // tracked separately so joules can be priced per component. The delay
+  // accumulator above is left bit-for-bit untouched — with a disabled cap
+  // the cut decisions are exactly the delay-only ones.
+  double etravel = 0.0;
+  double eservice = 0.0;
   for (std::size_t i = 0; i < tour.size(); ++i) {
     const SiteId v = tour[i];
     const double solo = 2.0 * p.travel_depot(v) + p.service[v];
@@ -31,18 +38,36 @@ GreedyCut greedy_cut(const TourProblem& p, const Tour& tour, double budget) {
     if (current.empty()) {
       current.push_back(v);
       internal = p.service[v];
+      etravel = 0.0;
+      eservice = p.service[v];
       continue;
     }
     const double extended = p.travel_depot(current.front()) + internal +
                             p.travel(current.back(), v) + p.service[v] +
                             p.travel_depot(v);
-    if (extended <= budget) {
+    bool fits = extended <= budget;
+    if (fits && cap.enabled()) {
+      // A single site over the cap is still admitted as its own segment
+      // (the executor's budget machinery handles the overdraw); only
+      // *extending* past the cap forces a cut.
+      const double joules =
+          (p.travel_depot(current.front()) + etravel +
+           p.travel(current.back(), v) + p.travel_depot(v)) *
+              cap.travel_power_w +
+          (eservice + p.service[v]) * cap.service_power_w;
+      fits = joules <= cap.budget_j;
+    }
+    if (fits) {
       internal += p.travel(current.back(), v) + p.service[v];
+      etravel += p.travel(current.back(), v);
+      eservice += p.service[v];
       current.push_back(v);
     } else {
       result.segments.push_back(std::move(current));
       current = {v};
       internal = p.service[v];
+      etravel = 0.0;
+      eservice = p.service[v];
     }
   }
   if (!current.empty()) result.segments.push_back(std::move(current));
@@ -59,7 +84,7 @@ double max_segment_delay(const TourProblem& p, const std::vector<Tour>& segs) {
 }  // namespace
 
 SplitResult split_min_max(const TourProblem& problem, const Tour& tour,
-                          std::size_t k) {
+                          std::size_t k, const SegmentEnergyCap& cap) {
   MCHARGE_ASSERT(k >= 1, "split requires k >= 1");
   MCHARGE_ASSERT(is_complete_tour(problem, tour),
                  "split requires a complete tour");
@@ -85,14 +110,23 @@ SplitResult split_min_max(const TourProblem& problem, const Tour& tour,
   double hi = std::max(lo, tour_delay(problem, tour));
   hi += 1e-9 * std::max(1.0, hi);
 
-  GreedyCut best = greedy_cut(problem, tour, hi);
+  SegmentEnergyCap use = cap;
+  GreedyCut best = greedy_cut(problem, tour, hi, use);
+  if (use.enabled() && best.ok && best.segments.size() > k) {
+    // The energy cap and the fleet size cannot both hold even at the
+    // loosest delay budget: drop the cap (best effort — the executor's
+    // budget machinery turns any residual overdraw into a recoverable,
+    // cause-tagged abort) and redo the feasibility anchor.
+    use = SegmentEnergyCap{};
+    best = greedy_cut(problem, tour, hi, use);
+  }
   MCHARGE_ASSERT(best.ok && best.segments.size() <= std::max<std::size_t>(k, 1),
                  "whole-tour budget must be feasible");
 
   // Binary search the smallest budget whose greedy cut uses <= k segments.
   for (int iter = 0; iter < 64 && hi - lo > 1e-9 * std::max(1.0, hi); ++iter) {
     const double mid = 0.5 * (lo + hi);
-    GreedyCut cut = greedy_cut(problem, tour, mid);
+    GreedyCut cut = greedy_cut(problem, tour, mid, use);
     if (cut.ok && cut.segments.size() <= k) {
       best = std::move(cut);
       hi = mid;
@@ -120,7 +154,7 @@ SplitResult min_max_k_tours(const TourProblem& problem, std::size_t k,
   problem.ensure_distance_cache();
   Tour tour = build_tour(problem, options.builder, options.matching);
   improve_tour(problem, tour, options.improve);
-  SplitResult result = split_min_max(problem, tour, k);
+  SplitResult result = split_min_max(problem, tour, k, options.energy);
   if (options.improve_segments) {
     // The segments are disjoint, every two_opt reads only the (already
     // built) distance cache and writes only its own tour, and the

@@ -25,11 +25,33 @@ struct SplitResult {
   double max_delay = 0.0;   ///< delay of the longest tour
 };
 
+/// Optional per-segment energy cap for the split. A segment's energy is
+/// its travel seconds (depot -> sites -> depot) times travel_power_w plus
+/// its service seconds times service_power_w; core/appro.cpp derives the
+/// powers from an energy::McvBudgetSpec (travel_power_w = move cost per
+/// meter x MCV speed, service_power_w = charging rate / transfer
+/// efficiency), making a segment's energy exactly the planner's estimate
+/// of the executor's battery draw. budget_j == 0 disables the cap — the
+/// split then takes exactly the delay-only code path.
+struct SegmentEnergyCap {
+  double budget_j = 0.0;        ///< per-segment joule cap; 0 = disabled
+  double travel_power_w = 0.0;  ///< joules per second of driving
+  double service_power_w = 0.0; ///< joules per second of charging service
+  bool enabled() const { return budget_j > 0.0; }
+};
+
 /// Cuts the given complete closed tour into at most K depot-rooted segments
 /// minimizing the maximum segment delay. The input tour's site order is
-/// preserved inside each segment.
+/// preserved inside each segment. With an enabled `cap`, the greedy cut
+/// also closes a segment whenever extending it would push its energy over
+/// cap.budget_j, so every returned segment fits the cap — except when even
+/// the loosest delay budget cannot satisfy cap and K together, in which
+/// case the cap is dropped entirely (best effort: the executor's budget
+/// machinery turns any residual overdraw into a recoverable abort). A
+/// single site whose own energy exceeds the cap is always allowed as its
+/// own segment for the same reason.
 SplitResult split_min_max(const TourProblem& problem, const Tour& tour,
-                          std::size_t k);
+                          std::size_t k, const SegmentEnergyCap& cap = {});
 
 struct MinMaxTourOptions {
   TourBuilder builder = TourBuilder::kChristofides;
@@ -44,6 +66,10 @@ struct MinMaxTourOptions {
   /// count yields byte-identical tours. 0 = serial (unlike parallel_for,
   /// where 0 means default_jobs()).
   std::size_t jobs = 0;
+  /// Per-segment energy cap forwarded to split_min_max. Disabled by
+  /// default; per-segment 2-opt can only shorten travel, so it never
+  /// pushes a cap-respecting segment back over the cap.
+  SegmentEnergyCap energy;
 };
 
 /// End-to-end K min-max closed tours over all sites of `problem`:

@@ -8,6 +8,7 @@
 
 #include "energy/battery.h"
 #include "energy/consumption.h"
+#include "energy/mcv_battery.h"
 #include "energy/radio.h"
 #include "energy/routing.h"
 #include "geometry/field.h"
@@ -55,6 +56,106 @@ TEST(Battery, ZeroCapacity) {
   EXPECT_TRUE(b.full());
   EXPECT_DOUBLE_EQ(b.fraction(), 0.0);
   EXPECT_DOUBLE_EQ(b.charge(10.0), 0.0);
+}
+
+// ---------- Battery hardening: bad joule amounts must abort ----------
+// std::clamp passes NaN through both comparisons, so before the explicit
+// isfinite asserts a NaN capacity or level silently poisoned every later
+// drain/charge. These death tests pin the asserts in place.
+
+TEST(BatteryDeathTest, NanCapacityAborts) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_DEATH(Battery(nan, 0.0), "mcharge assertion failed");
+}
+
+TEST(BatteryDeathTest, NegativeCapacityAborts) {
+  EXPECT_DEATH(Battery(-1.0, 0.0), "mcharge assertion failed");
+}
+
+TEST(BatteryDeathTest, NanSetLevelAborts) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  Battery b(100.0, 50.0);
+  EXPECT_DEATH(b.set_level(nan), "mcharge assertion failed");
+}
+
+TEST(BatteryDeathTest, BadDrainAborts) {
+  Battery b(100.0, 50.0);
+  EXPECT_DEATH(b.drain(-1.0), "mcharge assertion failed");
+  EXPECT_DEATH(b.drain(std::numeric_limits<double>::quiet_NaN()),
+               "mcharge assertion failed");
+  EXPECT_DEATH(b.drain(std::numeric_limits<double>::infinity()),
+               "mcharge assertion failed");
+}
+
+TEST(BatteryDeathTest, BadChargeAborts) {
+  Battery b(100.0, 50.0);
+  EXPECT_DEATH(b.charge(-1.0), "mcharge assertion failed");
+  EXPECT_DEATH(b.charge(std::numeric_limits<double>::quiet_NaN()),
+               "mcharge assertion failed");
+}
+
+// ---------- MCV battery ----------
+
+TEST(McvBattery, DisabledSpecAlwaysAffords) {
+  McvBudgetSpec spec;  // capacity 0 = disabled
+  EXPECT_FALSE(spec.enabled());
+  McvBattery b(spec);
+  EXPECT_TRUE(b.draw(1e12));
+  EXPECT_TRUE(b.draw(0.0));
+  EXPECT_DOUBLE_EQ(b.spent(), 0.0);
+}
+
+TEST(McvBattery, CostModel) {
+  McvBudgetSpec spec;
+  spec.capacity_j = 1000.0;
+  spec.move_cost_j_per_m = 50.0;
+  spec.transfer_efficiency = 0.8;
+  EXPECT_DOUBLE_EQ(spec.travel_cost_j(3.0), 150.0);
+  EXPECT_DOUBLE_EQ(spec.transfer_cost_j(80.0), 100.0);
+}
+
+TEST(McvBattery, DrawIsAllOrNothing) {
+  McvBudgetSpec spec;
+  spec.capacity_j = 100.0;
+  McvBattery b(spec);
+  EXPECT_TRUE(b.draw(60.0));
+  EXPECT_DOUBLE_EQ(b.level(), 40.0);
+  // Unaffordable: refused, level untouched.
+  EXPECT_FALSE(b.draw(40.1));
+  EXPECT_DOUBLE_EQ(b.level(), 40.0);
+  EXPECT_DOUBLE_EQ(b.spent(), 60.0);
+  // Exactly affordable: drains to zero.
+  EXPECT_TRUE(b.draw(40.0));
+  EXPECT_DOUBLE_EQ(b.level(), 0.0);
+  EXPECT_FALSE(b.draw(1e-9));
+  EXPECT_TRUE(b.draw(0.0));
+}
+
+TEST(McvBattery, ResumeSeedsLevel) {
+  McvBudgetSpec spec;
+  spec.capacity_j = 100.0;
+  McvBattery b(spec);
+  b.set_level(25.0);
+  EXPECT_DOUBLE_EQ(b.spent(), 75.0);
+  EXPECT_FALSE(b.draw(30.0));
+  EXPECT_TRUE(b.draw(25.0));
+}
+
+TEST(McvBatteryDeathTest, BadSpecAborts) {
+  McvBudgetSpec spec;
+  spec.capacity_j = 100.0;
+  spec.transfer_efficiency = 0.0;
+  EXPECT_DEATH(McvBattery{spec}, "mcharge assertion failed");
+  spec.transfer_efficiency = 1.5;
+  EXPECT_DEATH(McvBattery{spec}, "mcharge assertion failed");
+}
+
+TEST(McvBatteryDeathTest, BadResumeLevelAborts) {
+  McvBudgetSpec spec;
+  spec.capacity_j = 100.0;
+  McvBattery b(spec);
+  EXPECT_DEATH(b.set_level(-1.0), "mcharge assertion failed");
+  EXPECT_DEATH(b.set_level(101.0), "mcharge assertion failed");
 }
 
 // ---------- Radio ----------

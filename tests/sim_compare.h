@@ -83,6 +83,9 @@ inline void expect_results_identical(const SimResult& a, const SimResult& b) {
   EXPECT_EQ(a.recovered_sensors, b.recovered_sensors);
   EXPECT_EQ(a.deferred_sensors, b.deferred_sensors);
   EXPECT_BITS_EQ(a.extra_recovery_delay_s, b.extra_recovery_delay_s);
+  EXPECT_EQ(a.mcv_energy_exhausted, b.mcv_energy_exhausted);
+  EXPECT_BITS_EQ(a.mcv_energy_spent_j, b.mcv_energy_spent_j);
+  EXPECT_BITS_EQ(a.mcv_energy_max_tour_j, b.mcv_energy_max_tour_j);
   ASSERT_EQ(a.dead_seconds_per_sensor.size(),
             b.dead_seconds_per_sensor.size());
   EXPECT_EQ(0, std::memcmp(a.dead_seconds_per_sensor.data(),
@@ -108,6 +111,11 @@ inline void expect_results_identical(const SimResult& a, const SimResult& b) {
     EXPECT_EQ(a.rounds_log[i].deferred, b.rounds_log[i].deferred);
     EXPECT_BITS_EQ(a.rounds_log[i].extra_delay_s,
                    b.rounds_log[i].extra_delay_s);
+    EXPECT_EQ(a.rounds_log[i].energy_aborts, b.rounds_log[i].energy_aborts);
+    EXPECT_BITS_EQ(a.rounds_log[i].energy_spent_j,
+                   b.rounds_log[i].energy_spent_j);
+    EXPECT_BITS_EQ(a.rounds_log[i].energy_max_tour_j,
+                   b.rounds_log[i].energy_max_tour_j);
   }
 }
 

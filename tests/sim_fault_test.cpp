@@ -18,7 +18,13 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+
 #include "core/appro.h"
+#include "core/replan.h"
+#include "energy/mcv_battery.h"
+#include "schedule/execute.h"
+#include "schedule/verify.h"
 #include "sim/faults.h"
 #include "sim/simulation.h"
 #include "sim/validate.h"
@@ -258,6 +264,259 @@ TEST(Truncation, CleanRunIsNotTruncated) {
   EXPECT_EQ(result.truncated_reason, TruncationReason::kNone);
 }
 
+// ---------- MCV energy budget ----------
+
+// Meters the fleet's actual draw with an effectively-unlimited (but
+// enabled) budget, so tests can derive a deterministically-tight capacity
+// from the instance itself instead of hard-coding joules.
+double mean_mcv_round_energy(const model::WrsnInstance& instance,
+                             const sched::Scheduler& scheduler,
+                             SimConfig config, double efficiency) {
+  config.mcv_budget.capacity_j = 1e18;
+  config.mcv_budget.transfer_efficiency = efficiency;
+  const SimResult metered = simulate(instance, scheduler, config);
+  EXPECT_GT(metered.rounds, 0u);
+  EXPECT_EQ(metered.mcv_energy_exhausted, 0u);
+  EXPECT_GT(metered.mcv_energy_spent_j, 0.0);
+  return metered.mcv_energy_spent_j /
+         (static_cast<double>(metered.rounds) *
+          static_cast<double>(instance.config.num_chargers));
+}
+
+TEST(SimEnergy, DisabledBudgetSpecIsByteIdenticalToBaseline) {
+  const auto instance = hot_instance(120, 200, 3.0);
+  core::ApproScheduler appro;
+  SimConfig config;
+  config.monitoring_period_s = 45.0 * 86400.0;
+  config.record_rounds = true;
+  const SimResult plain = simulate(instance, appro, config);
+
+  // Budget "configured" but disabled (capacity 0): the cost-model fields
+  // must be inert and the whole run byte-identical to the baseline.
+  SimConfig budgeted = config;
+  budgeted.mcv_budget.move_cost_j_per_m = 75.0;
+  budgeted.mcv_budget.transfer_efficiency = 0.8;
+  budgeted.recovery = core::RecoveryPolicy::kReplan;
+  const SimResult got = simulate(instance, appro, budgeted);
+  expect_results_identical(plain, got);
+  EXPECT_EQ(got.mcv_energy_exhausted, 0u);
+  EXPECT_BITS_EQ(got.mcv_energy_spent_j, 0.0);
+}
+
+TEST(SimEnergy, TightBudgetAbortsAreAccountedAndVerifierClean) {
+  const auto instance = hot_instance(121, 200, 3.0);
+  core::ApproScheduler appro;
+  SimConfig config;
+  config.monitoring_period_s = 45.0 * 86400.0;
+  config.record_rounds = true;
+  const double mean_j = mean_mcv_round_energy(instance, appro, config, 0.9);
+
+  for (const core::RecoveryPolicy policy : kPolicies) {
+    SimConfig tight = config;
+    tight.recovery = policy;
+    tight.mcv_budget.capacity_j = 0.5 * mean_j;
+    tight.mcv_budget.transfer_efficiency = 0.9;
+    const SimResult result = simulate(instance, appro, tight);
+    SCOPED_TRACE(policy_name(policy));
+    EXPECT_EQ(result.verify_violations, 0u);
+    EXPECT_GT(result.rounds, 0u);
+    EXPECT_GT(result.mcv_energy_exhausted, 0u);
+    EXPECT_GE(result.mcv_breakdowns, result.mcv_energy_exhausted);
+    EXPECT_NE(result.truncated_reason, TruncationReason::kMaxRounds);
+
+    // The per-round log must re-sum to the aggregates, bit for bit, and
+    // the logged delays must reproduce the running-stats extremum.
+    std::size_t aborts = 0;
+    double spent_j = 0.0;
+    double worst_delay = 0.0;
+    for (const RoundLog& log : result.rounds_log) {
+      aborts += log.energy_aborts;
+      spent_j += log.energy_spent_j;
+      worst_delay = std::max(worst_delay, log.longest_delay_s);
+    }
+    EXPECT_EQ(aborts, result.mcv_energy_exhausted);
+    EXPECT_BITS_EQ(spent_j, result.mcv_energy_spent_j);
+    EXPECT_BITS_EQ(worst_delay, result.round_longest_delay_s.max());
+  }
+}
+
+TEST(SimEnergy, RecordedTourDrawsMatchAggregatesExactly) {
+  const auto instance = hot_instance(125, 200, 3.0);
+  const std::size_t k = instance.config.num_chargers;
+  core::ApproScheduler appro;
+  SimConfig config;
+  config.monitoring_period_s = 45.0 * 86400.0;
+  config.record_rounds = true;
+  config.mcv_budget.capacity_j = 1e15;  // metering: nothing aborts
+  const SimResult off = simulate(instance, appro, config);
+  EXPECT_TRUE(off.mcv_tour_energy_j.empty());  // opt-in only
+
+  SimConfig recording = config;
+  recording.record_tour_energy = true;
+  const SimResult on = simulate(instance, appro, recording);
+  // Recording is pure observation: every aggregate stays bit-identical.
+  expect_results_identical(off, on);
+
+  // One draw per MCV per executed round, in round-major order, and the
+  // per-round flat sums/maxima must reproduce the RoundLog entries bit
+  // for bit (simulation.cpp folds the same values in the same order).
+  const auto& draws = on.mcv_tour_energy_j;
+  ASSERT_EQ(draws.size(), on.rounds_log.size() * k);
+  double global_max = 0.0;
+  for (std::size_t r = 0; r < on.rounds_log.size(); ++r) {
+    double round_sum = 0.0;
+    double round_max = 0.0;
+    for (std::size_t m = 0; m < k; ++m) {
+      const double d = draws[r * k + m];
+      EXPECT_GE(d, 0.0);
+      round_sum += d;
+      round_max = std::max(round_max, d);
+    }
+    EXPECT_BITS_EQ(round_sum, on.rounds_log[r].energy_spent_j);
+    EXPECT_BITS_EQ(round_max, on.rounds_log[r].energy_max_tour_j);
+    global_max = std::max(global_max, round_max);
+  }
+  EXPECT_BITS_EQ(global_max, on.mcv_energy_max_tour_j);
+}
+
+TEST(SimEnergy, BudgetedRunsBitIdenticalAcrossJobsBackendsAndPolicies) {
+  const auto instance = hot_instance(122, 250, 3.0);
+  core::ApproScheduler appro;
+  SimConfig base;
+  base.monitoring_period_s = 45.0 * 86400.0;
+  base.record_rounds = true;
+  base.shard_grain = 32;  // force real sharding at n = 250
+  const double mean_j = mean_mcv_round_energy(instance, appro, base, 0.9);
+
+  for (const core::RecoveryPolicy policy : kPolicies) {
+    SimConfig config = base;
+    config.recovery = policy;
+    config.mcv_budget.capacity_j = 0.6 * mean_j;
+    config.mcv_budget.transfer_efficiency = 0.9;
+    // Budget on top of the full fault soup: exhaustion and coin-flip
+    // breakdowns must coexist deterministically.
+    config.faults = harsh_faults(5);
+
+    SimResult reference;
+    {
+      BackendGuard guard(simd::Backend::kScalar);
+      config.jobs = 1;
+      reference = simulate(instance, appro, config);
+    }
+    ASSERT_GT(reference.rounds, 0u);
+    ASSERT_GT(reference.mcv_energy_exhausted, 0u) << policy_name(policy);
+    ASSERT_EQ(reference.verify_violations, 0u) << policy_name(policy);
+
+    for (simd::Backend b : supported_backends()) {
+      BackendGuard guard(b);
+      for (std::size_t jobs : {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
+        config.jobs = jobs;
+        const SimResult got = simulate(instance, appro, config);
+        SCOPED_TRACE(std::string(policy_name(policy)) + " jobs=" +
+                     std::to_string(jobs) + " backend=" +
+                     simd::backend_name(b));
+        expect_results_identical(reference, got);
+      }
+    }
+  }
+}
+
+// recover_round-level property: for random problems under a tight budget
+// (with and without coin-flip breakdowns mixed in), every policy yields a
+// verifier-clean outcome whose reported longest charge delay equals an
+// independent recomputation from the raw per-MCV return times, exhaustion
+// aborts are cause-tagged, and no MCV ever outspends its battery.
+TEST(SimEnergy, RecoverRoundDelayAndEnergyAccountsAreConsistent) {
+  std::size_t total_energy_aborts = 0;
+  for (int trial = 0; trial < 8; ++trial) {
+    Rng rng(static_cast<std::uint64_t>(trial) * 77 + 2000);
+    const std::size_t n = 30 + rng.below(80);
+    const std::size_t k = 1 + rng.below(3);
+    std::vector<geom::Point> pts;
+    std::vector<double> deficits;
+    for (std::size_t i = 0; i < n; ++i) {
+      pts.push_back({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)});
+      deficits.push_back(rng.uniform(500.0, 3000.0));
+    }
+    model::ChargingProblem problem(std::move(pts), std::move(deficits),
+                                   {50, 50}, 2.7, 1.0, k);
+
+    energy::McvBudgetSpec spec;
+    spec.capacity_j = 1e18;
+    spec.transfer_efficiency = 0.9;
+    core::ApproOptions options;
+    options.mcv_budget = spec;  // budget-aware split (capacity is loose)
+    core::ApproScheduler appro(options);
+    const sched::ChargingPlan plan = appro.plan(problem);
+
+    // Calibrate the tight capacity off the fault-free metered execution.
+    sched::ExecutionFaults meter;
+    meter.budget = spec;
+    const auto metered = sched::execute_plan(problem, plan, meter);
+    double max_spent = 0.0;
+    for (const auto& m : metered.mcvs) {
+      max_spent = std::max(max_spent, m.energy_spent_j);
+    }
+    ASSERT_GT(max_spent, 0.0);
+
+    sched::ExecutionFaults bundle;
+    bundle.budget = spec;
+    bundle.budget.capacity_j = 0.6 * max_spent;
+    if (trial % 2 == 1) {
+      bundle.breakdown_after.assign(k, sched::ExecutionFaults::kNoBreakdown);
+      bundle.breakdown_after[rng.below(static_cast<std::uint32_t>(k))] =
+          rng.below(4);
+    }
+
+    for (const core::RecoveryPolicy policy : kPolicies) {
+      SCOPED_TRACE(std::string(policy_name(policy)) + " trial=" +
+                   std::to_string(trial));
+      const core::RecoveryOutcome outcome =
+          core::recover_round(problem, plan, bundle, policy);
+
+      sched::VerifyOptions vo;
+      vo.require_full_coverage = false;
+      vo.allow_partial = true;
+      vo.faults = &bundle;
+      const auto violations =
+          sched::verify_schedule(problem, outcome.primary, vo);
+      EXPECT_TRUE(violations.empty())
+          << violations.size() << " violations, first: "
+          << (violations.empty() ? "" : violations.front());
+      if (outcome.has_recovery) {
+        const auto recovery_violations = sched::verify_schedule(
+            outcome.replan.subproblem, outcome.recovery);
+        EXPECT_TRUE(recovery_violations.empty())
+            << (recovery_violations.empty() ? ""
+                                            : recovery_violations.front());
+      }
+
+      double worst = 0.0;
+      for (const auto& m : outcome.primary.mcvs) {
+        worst = std::max(worst, m.return_time);
+      }
+      if (outcome.has_recovery) {
+        double recovery_worst = 0.0;
+        for (const auto& m : outcome.recovery.mcvs) {
+          recovery_worst = std::max(recovery_worst, m.return_time);
+        }
+        worst = std::max(worst, outcome.recovery_offset_s + recovery_worst);
+      }
+      EXPECT_BITS_EQ(worst, outcome.longest_delay());
+
+      for (const auto& m : outcome.primary.mcvs) {
+        EXPECT_LE(m.energy_spent_j, bundle.budget.capacity_j);
+        if (m.abort_cause == sched::BreakdownCause::kEnergyExhausted) {
+          EXPECT_TRUE(m.aborted);
+          ++total_energy_aborts;
+        }
+      }
+    }
+  }
+  // The calibrated capacities must actually bite somewhere in the sweep.
+  EXPECT_GT(total_energy_aborts, 0u);
+}
+
 // ---------- structured input validation ----------
 
 TEST(Validation, AcceptsDefaultsAndEmptyNetwork) {
@@ -319,6 +578,72 @@ TEST(Validation, RejectsBadConfigsWithTheRightCode) {
   err = validate_sim_inputs(broken, SimConfig{});
   ASSERT_TRUE(err.has_value());
   EXPECT_EQ(err->code, ConfigErrorCode::kNonFiniteSensorData);
+}
+
+TEST(Validation, RejectsZeroOrNegativeSensorCapacity) {
+  // Battery::fraction() reads a zero-capacity battery as permanently
+  // empty (0.0) rather than erroring — the simulator must therefore never
+  // accept one (a "charged" sensor would still read empty).
+  Rng rng(4);
+  const auto instance = model::make_instance(model::NetworkConfig{}, 10, rng);
+
+  auto broken = instance;
+  broken.config.battery_capacity_j = 0.0;
+  auto err = validate_sim_inputs(broken, SimConfig{});
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->code, ConfigErrorCode::kBadCapacity);
+
+  broken.config.battery_capacity_j = -10.0;
+  err = validate_sim_inputs(broken, SimConfig{});
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->code, ConfigErrorCode::kBadCapacity);
+
+  broken.config.battery_capacity_j = std::numeric_limits<double>::quiet_NaN();
+  err = validate_sim_inputs(broken, SimConfig{});
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->code, ConfigErrorCode::kBadCapacity);
+}
+
+TEST(Validation, RejectsBadMcvBudgets) {
+  Rng rng(5);
+  const auto instance = model::make_instance(model::NetworkConfig{}, 10, rng);
+
+  SimConfig config;
+  config.mcv_budget.capacity_j = -1.0;
+  auto err = validate_sim_inputs(instance, config);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->code, ConfigErrorCode::kBadMcvBudget);
+
+  config = SimConfig{};
+  config.mcv_budget.capacity_j = std::numeric_limits<double>::infinity();
+  err = validate_sim_inputs(instance, config);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->code, ConfigErrorCode::kBadMcvBudget);
+
+  // A *disabled* budget must still carry a coherent cost model.
+  config = SimConfig{};
+  config.mcv_budget.move_cost_j_per_m = -5.0;
+  err = validate_sim_inputs(instance, config);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->code, ConfigErrorCode::kBadMcvBudget);
+
+  config = SimConfig{};
+  config.mcv_budget.transfer_efficiency = 0.0;
+  err = validate_sim_inputs(instance, config);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->code, ConfigErrorCode::kBadMcvBudget);
+
+  config = SimConfig{};
+  config.mcv_budget.transfer_efficiency = 1.2;
+  err = validate_sim_inputs(instance, config);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->code, ConfigErrorCode::kBadMcvBudget);
+
+  // A well-formed enabled budget passes.
+  config = SimConfig{};
+  config.mcv_budget.capacity_j = 5e5;
+  config.mcv_budget.transfer_efficiency = 0.85;
+  EXPECT_FALSE(validate_sim_inputs(instance, config).has_value());
 }
 
 TEST(Validation, SimulateCheckedReturnsErrorInsteadOfAborting) {

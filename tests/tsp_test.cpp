@@ -359,6 +359,77 @@ TEST(Split, LowerBoundRespected) {
   EXPECT_GE(result.max_delay, hardest - 1e-9);
 }
 
+// Energy of a depot-rooted segment under a SegmentEnergyCap's cost model.
+double segment_energy(const TourProblem& p, const Tour& s,
+                      const SegmentEnergyCap& cap) {
+  if (s.empty()) return 0.0;
+  double travel = p.travel_depot(s.front()) + p.travel_depot(s.back());
+  double service = 0.0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (i + 1 < s.size()) travel += p.travel(s[i], s[i + 1]);
+    service += p.service[s[i]];
+  }
+  return travel * cap.travel_power_w + service * cap.service_power_w;
+}
+
+TEST(Split, DisabledEnergyCapIsByteIdentical) {
+  Rng rng(29);
+  const TourProblem p = random_problem(50, rng, 400.0);
+  Tour tour = nearest_neighbor_tour(p);
+  const auto plain = split_min_max(p, tour, 3);
+  SegmentEnergyCap cap;  // budget 0 = disabled; cost fields must be inert
+  cap.travel_power_w = 135.0;
+  cap.service_power_w = 2.0;
+  const auto capped = split_min_max(p, tour, 3, cap);
+  ASSERT_EQ(plain.tours.size(), capped.tours.size());
+  for (std::size_t i = 0; i < plain.tours.size(); ++i) {
+    EXPECT_EQ(plain.tours[i], capped.tours[i]);
+  }
+  EXPECT_EQ(plain.max_delay, capped.max_delay);
+}
+
+TEST(Split, EnergyCapBoundsEverySegmentWhenRoomAllows) {
+  Rng rng(31);
+  const TourProblem p = random_problem(40, rng, 400.0);
+  Tour tour = nearest_neighbor_tour(p);
+  SegmentEnergyCap cap;
+  cap.travel_power_w = 135.0;
+  cap.service_power_w = 2.0;
+  // A third of the whole tour's energy: binding (an uncapped 2-way split
+  // must overdraw it) yet feasible with room for extra segments.
+  cap.budget_j = segment_energy(p, tour, cap) / 3.0;
+  const auto uncapped = split_min_max(p, tour, 2);
+  bool overdraw = false;
+  for (const auto& s : uncapped.tours) {
+    overdraw = overdraw || segment_energy(p, s, cap) > cap.budget_j;
+  }
+  ASSERT_TRUE(overdraw) << "cap not binding; test instance too easy";
+
+  const auto capped = split_min_max(p, tour, 20, cap);
+  Tour combined;
+  for (const auto& s : capped.tours) {
+    EXPECT_LE(segment_energy(p, s, cap),
+              cap.budget_j * (1.0 + 1e-12) + 1e-9);
+    combined.insert(combined.end(), s.begin(), s.end());
+  }
+  EXPECT_EQ(combined, tour);  // still a partition in tour order
+}
+
+TEST(Split, InfeasibleEnergyCapFallsBackToUncapped) {
+  Rng rng(37);
+  const TourProblem p = random_problem(30, rng, 400.0);
+  Tour tour = nearest_neighbor_tour(p);
+  SegmentEnergyCap cap;
+  cap.travel_power_w = 135.0;
+  cap.service_power_w = 2.0;
+  cap.budget_j = 1e-3;  // nothing multi-site fits; k = 1 cannot satisfy it
+  const auto fallback = split_min_max(p, tour, 1, cap);
+  const auto plain = split_min_max(p, tour, 1);
+  ASSERT_EQ(fallback.tours.size(), 1u);
+  EXPECT_EQ(fallback.tours[0], plain.tours[0]);
+  EXPECT_TRUE(is_complete_tour(p, fallback.tours[0]));
+}
+
 TEST(MinMaxKTours, EndToEndCoversAllSites) {
   Rng rng(31);
   const TourProblem p = random_problem(100, rng, 200.0);
